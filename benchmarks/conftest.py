@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper using the
+``quick`` evaluation profile (one building, three devices, a reduced ε/ø
+grid, coarser reference-point granularity) so the full suite completes in
+minutes on a laptop.  To reproduce the paper-scale grid, switch the fixture
+to ``EvaluationConfig.full()`` and expect a multi-hour run.
+
+The rendered text of every artefact is written to ``benchmarks/results/`` so
+the numbers behind EXPERIMENTS.md can be inspected after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval import EvaluationConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def eval_config() -> EvaluationConfig:
+    """Evaluation profile used by all figure benchmarks."""
+    return EvaluationConfig.quick()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where each benchmark drops its rendered artefact."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artefact(results_dir):
+    """Callable that persists an artefact's text rendering."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

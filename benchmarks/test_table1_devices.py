@@ -1,0 +1,15 @@
+"""Table I — smartphone details used in the evaluation."""
+
+from __future__ import annotations
+
+from repro.eval import table1_devices
+
+
+def test_table1_devices(benchmark, save_artefact):
+    result = benchmark.pedantic(table1_devices, rounds=3, iterations=1)
+    save_artefact("table1_devices", result["text"])
+
+    rows = result["rows"]
+    assert len(rows) == 6
+    acronyms = {row[2] for row in rows}
+    assert acronyms == {"BLU", "HTC", "S7", "LG", "MOTO", "OP3"}

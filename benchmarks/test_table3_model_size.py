@@ -1,0 +1,19 @@
+"""Sec. V.A — CALLOC trainable-parameter budget and deployment size."""
+
+from __future__ import annotations
+
+from repro.eval import table3_model_budget
+
+
+def test_table3_model_budget(benchmark, save_artefact):
+    result = benchmark.pedantic(table3_model_budget, rounds=3, iterations=1)
+    save_artefact("table3_model_budget", result["text"])
+
+    report = result["report"]
+    # Embedding budget reproduces the paper exactly for a 165-AP building:
+    # two Linear(165 -> 128) layers = 2 * (165*128 + 128) = 42,496.
+    assert report["embedding_layers"] == 42496
+    # The deployable model stays in the paper's lightweight class
+    # (same order of magnitude as 65,239 parameters / 254.84 kB).
+    assert result["deployment_total"] < 2 * result["paper"]["total"]
+    assert result["size_kb"] < 2 * result["paper"]["size_kb"]

@@ -1,0 +1,30 @@
+"""repro — reproduction of CALLOC (DATE 2024).
+
+CALLOC: Curriculum Adversarial Learning for Secure and Robust Indoor
+Localization.  The package provides:
+
+* :mod:`repro.nn` — a from-scratch NumPy neural-network substrate;
+* :mod:`repro.data` — a Wi-Fi RSS fingerprint campaign simulator matching the
+  paper's Table I devices and Table II buildings;
+* :mod:`repro.attacks` — FGSM / PGD / MIM white-box attacks and channel-side
+  MITM wrappers;
+* :mod:`repro.core` — the CALLOC framework (curriculum adversarial learning
+  with a scaled dot-product attention model);
+* :mod:`repro.baselines` — the state-of-the-art localizers CALLOC is compared
+  against (KNN, GPC, DNN, CNN, AdvLoc, ANVIL, SANGRIA, WiDeep, ...);
+* :mod:`repro.eval` — metrics, scenario grids and the experiment harness that
+  regenerates every table and figure of the paper's evaluation.
+"""
+
+from .core import CALLOC
+from .interfaces import DifferentiableLocalizer, Localizer, localization_errors
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CALLOC",
+    "Localizer",
+    "DifferentiableLocalizer",
+    "localization_errors",
+    "__version__",
+]

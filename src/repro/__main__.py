@@ -1,0 +1,8 @@
+"""``python -m repro`` — regenerate the paper's evaluation artefacts."""
+
+import sys
+
+from .reproduce import main
+
+if __name__ == "__main__":
+    sys.exit(main())

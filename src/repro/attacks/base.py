@@ -1,0 +1,170 @@
+"""Threat model and attack interfaces for white-box adversarial attacks.
+
+The paper (Sec. III) considers channel-side man-in-the-middle adversaries in a
+white-box setting: the attacker knows the building, the AP deployment and the
+victim ML model's parameters, and injects carefully crafted perturbations into
+the RSS values of a chosen subset of access points.
+
+Two knobs define an attack scenario:
+
+* ``epsilon`` — the perturbation magnitude, expressed in the normalised
+  feature space (``[0, 1]`` ≙ ``[-100, 0]`` dBm), swept from 0.1 to 0.5;
+* ``phi`` (ø) — the percentage of access points the adversary targets,
+  swept from 0 (no attack) to 100 (every AP perturbed).
+
+All attacks operate on normalised features and need gradients of the victim's
+loss with respect to its inputs; the :class:`GradientProvider` protocol
+abstracts over natively differentiable models (the NN localizers) and
+surrogate-gradient adapters for non-differentiable ones (KNN, GPC, boosted
+trees).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["ThreatModel", "GradientProvider", "Attack", "select_target_aps", "no_attack"]
+
+
+@runtime_checkable
+class GradientProvider(Protocol):
+    """Anything that can expose input gradients of its training loss."""
+
+    def loss_gradient(self, features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Gradient of the victim's loss w.r.t. ``features`` (same shape)."""
+        ...
+
+
+@dataclass(frozen=True)
+class ThreatModel:
+    """White-box channel-side threat model (Sec. III.B/C).
+
+    Attributes
+    ----------
+    epsilon:
+        Maximum perturbation per feature in normalised units (0.1–0.5 in the
+        paper's sweeps).
+    phi_percent:
+        Percentage of access points targeted by the adversary (ø).
+    feature_low / feature_high:
+        Valid range of the normalised features; perturbed fingerprints are
+        clipped back into this box so they remain physically plausible RSS.
+    seed:
+        Seed used when sampling which APs are targeted.
+    """
+
+    epsilon: float = 0.1
+    phi_percent: float = 10.0
+    feature_low: float = 0.0
+    feature_high: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {self.epsilon}")
+        if not 0.0 <= self.phi_percent <= 100.0:
+            raise ValueError(f"phi_percent must be in [0, 100], got {self.phi_percent}")
+        if self.feature_low >= self.feature_high:
+            raise ValueError("feature_low must be smaller than feature_high")
+
+    def target_mask(self, num_aps: int) -> np.ndarray:
+        """Boolean mask of the APs this adversary perturbs."""
+        return select_target_aps(num_aps, self.phi_percent, np.random.default_rng(self.seed))
+
+    @property
+    def is_null(self) -> bool:
+        """True when the threat model describes the no-attack scenario."""
+        return self.epsilon == 0.0 or self.phi_percent == 0.0
+
+
+def no_attack() -> ThreatModel:
+    """The benign (no adversary) scenario: ø = 0, ε = 0."""
+    return ThreatModel(epsilon=0.0, phi_percent=0.0)
+
+
+def select_target_aps(
+    num_aps: int, phi_percent: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Choose which access points the adversary compromises.
+
+    Parameters
+    ----------
+    num_aps:
+        Total number of visible access points.
+    phi_percent:
+        Percentage of APs to target (ø).  At least one AP is targeted whenever
+        ``phi_percent > 0``, mirroring the paper's ø = 1 case.
+    rng:
+        Random generator controlling the selection.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean mask of shape ``(num_aps,)`` with ``True`` for targeted APs.
+    """
+    if not 0.0 <= phi_percent <= 100.0:
+        raise ValueError(f"phi_percent must be in [0, 100], got {phi_percent}")
+    mask = np.zeros(num_aps, dtype=bool)
+    if phi_percent == 0.0 or num_aps == 0:
+        return mask
+    num_targets = max(1, int(round(num_aps * phi_percent / 100.0)))
+    num_targets = min(num_targets, num_aps)
+    targets = rng.choice(num_aps, size=num_targets, replace=False)
+    mask[targets] = True
+    return mask
+
+
+class Attack(abc.ABC):
+    """Base class for gradient-based evasion attacks on fingerprint inputs."""
+
+    name: str = "attack"
+
+    def __init__(self, threat_model: ThreatModel) -> None:
+        self.threat_model = threat_model
+
+    @abc.abstractmethod
+    def perturb(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        victim: GradientProvider,
+        target_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Return adversarially perturbed features.
+
+        Parameters
+        ----------
+        features:
+            Normalised fingerprints, shape ``(num_samples, num_aps)``.
+        labels:
+            True reference-point labels, shape ``(num_samples,)``.
+        victim:
+            Gradient provider for the model under attack.
+        target_mask:
+            Optional explicit per-AP mask; defaults to the threat model's ø
+            selection.
+        """
+
+    # ------------------------------------------------------------------
+    def _resolve_mask(self, features: np.ndarray, target_mask: Optional[np.ndarray]) -> np.ndarray:
+        num_aps = features.shape[1]
+        if target_mask is None:
+            mask = self.threat_model.target_mask(num_aps)
+        else:
+            mask = np.asarray(target_mask, dtype=bool)
+            if mask.shape != (num_aps,):
+                raise ValueError(
+                    f"target_mask must have shape ({num_aps},), got {mask.shape}"
+                )
+        return mask.astype(np.float64)
+
+    def _clip(self, adversarial: np.ndarray) -> np.ndarray:
+        return np.clip(adversarial, self.threat_model.feature_low, self.threat_model.feature_high)
+
+    def __repr__(self) -> str:
+        tm = self.threat_model
+        return f"{type(self).__name__}(epsilon={tm.epsilon}, phi={tm.phi_percent}%)"

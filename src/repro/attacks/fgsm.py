@@ -1,0 +1,44 @@
+"""Fast Gradient Sign Method (FGSM) attack [27].
+
+Single-step, non-iterative:
+
+.. math::
+
+    X_{adv} = X + \\epsilon \\cdot \\mathrm{sign}(\\nabla_X J(X, Y))
+
+restricted to the targeted access points (ø) and clipped back into the valid
+normalised RSS range.  FGSM is also the attack CALLOC uses to synthesise its
+curriculum lessons during offline training (Sec. IV.A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Attack, GradientProvider, ThreatModel
+
+__all__ = ["FGSMAttack"]
+
+
+class FGSMAttack(Attack):
+    """One-step sign-gradient attack."""
+
+    name = "FGSM"
+
+    def perturb(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        victim: GradientProvider,
+        target_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if self.threat_model.is_null:
+            return features.copy()
+        mask = self._resolve_mask(features, target_mask)
+        gradient = victim.loss_gradient(features, labels)
+        perturbation = self.threat_model.epsilon * np.sign(gradient) * mask
+        return self._clip(features + perturbation)

@@ -1,0 +1,104 @@
+"""Surrogate gradients for non-differentiable victims.
+
+White-box gradient attacks need :math:`\\nabla_X J(X, Y)`, which classical
+models (KNN, Gaussian Process Classifier, gradient-boosted trees) do not
+expose.  The standard workaround — used here to reproduce Fig. 1 and the
+state-of-the-art comparisons — is to train a differentiable *surrogate*
+network to imitate the victim's decision function and take gradients through
+the surrogate.  This is exactly the transfer-attack setting the paper's
+white-box adversary would fall back to for those models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Adam, CrossEntropyLoss, Linear, ReLU, Sequential, Tensor
+
+__all__ = ["SurrogateGradientModel"]
+
+
+class SurrogateGradientModel:
+    """Differentiable imitation of an arbitrary localization model.
+
+    Parameters
+    ----------
+    num_aps:
+        Input dimensionality (number of visible access points).
+    num_classes:
+        Number of reference-point classes.
+    hidden:
+        Width of the two hidden layers of the surrogate MLP.
+    epochs / lr:
+        Training schedule for fitting the surrogate to the victim's outputs.
+    seed:
+        Seed for weight initialisation and data shuffling.
+    """
+
+    def __init__(
+        self,
+        num_aps: int,
+        num_classes: int,
+        hidden: int = 128,
+        epochs: int = 60,
+        lr: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.num_aps = num_aps
+        self.num_classes = num_classes
+        self.epochs = epochs
+        self.lr = lr
+        self._rng = rng
+        self.network = Sequential(
+            Linear(num_aps, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, num_classes, rng=rng),
+        )
+        self._loss = CrossEntropyLoss()
+        self._fitted = False
+
+    def fit(self, features: np.ndarray, victim_labels: np.ndarray) -> "SurrogateGradientModel":
+        """Train the surrogate to reproduce ``victim_labels`` on ``features``.
+
+        ``victim_labels`` should be the *victim's predictions* (not ground
+        truth) so that surrogate gradients point where the victim's decision
+        boundary actually lies; ground-truth labels work as a fallback.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        victim_labels = np.asarray(victim_labels, dtype=np.int64)
+        optimizer = Adam(self.network.parameters(), lr=self.lr)
+        num_samples = features.shape[0]
+        batch_size = min(64, num_samples)
+        for _ in range(self.epochs):
+            order = self._rng.permutation(num_samples)
+            for start in range(0, num_samples, batch_size):
+                batch = order[start : start + batch_size]
+                optimizer.zero_grad()
+                logits = self.network(Tensor(features[batch]))
+                loss = self._loss(logits, victim_labels[batch])
+                loss.backward()
+                optimizer.step()
+        self._fitted = True
+        return self
+
+    def loss_gradient(self, features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Gradient of the surrogate's cross-entropy loss w.r.t. the inputs."""
+        if not self._fitted:
+            raise RuntimeError("surrogate must be fitted before requesting gradients")
+        inputs = Tensor(np.asarray(features, dtype=np.float64), requires_grad=True)
+        self.network.eval()
+        logits = self.network(inputs)
+        loss = self._loss(logits, np.asarray(labels, dtype=np.int64))
+        loss.backward()
+        return inputs.grad.copy()
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Surrogate's own class predictions (used to check imitation quality)."""
+        self.network.eval()
+        logits = self.network(Tensor(np.asarray(features, dtype=np.float64)))
+        return logits.data.argmax(axis=1)

@@ -1,0 +1,64 @@
+"""``repro.baselines`` — state-of-the-art localizers CALLOC is compared against.
+
+Includes the classical models used in Fig. 1 (KNN, GPC, DNN) and the
+advanced frameworks of the Fig. 6/7 comparison (AdvLoc, SANGRIA, ANVIL,
+WiDeep), plus the substrates they need (gradient-boosted trees and
+autoencoders).  :func:`make_baseline` builds any of them by name.
+"""
+
+from typing import Callable, Dict
+
+from ..interfaces import DifferentiableLocalizer, Localizer
+from .advloc import AdvLocLocalizer
+from .anvil import ANVILLocalizer
+from .autoencoder import DenoisingAutoencoder, StackedAutoencoder
+from .cnn import CNNLocalizer
+from .dnn import DNNLocalizer
+from .gbdt import DecisionTreeRegressor, GradientBoostedClassifier
+from .gpc import GaussianProcessLocalizer
+from .knn import KNNLocalizer
+from .naive_bayes import NaiveBayesLocalizer
+from .neural import NeuralNetworkLocalizer
+from .sangria import SANGRIALocalizer
+from .wideep import WiDeepLocalizer
+
+__all__ = [
+    "Localizer",
+    "DifferentiableLocalizer",
+    "KNNLocalizer",
+    "NaiveBayesLocalizer",
+    "GaussianProcessLocalizer",
+    "DNNLocalizer",
+    "CNNLocalizer",
+    "AdvLocLocalizer",
+    "ANVILLocalizer",
+    "SANGRIALocalizer",
+    "WiDeepLocalizer",
+    "NeuralNetworkLocalizer",
+    "StackedAutoencoder",
+    "DenoisingAutoencoder",
+    "DecisionTreeRegressor",
+    "GradientBoostedClassifier",
+    "BASELINE_REGISTRY",
+    "make_baseline",
+]
+
+#: Factories for every baseline, keyed by the name used in the paper's figures.
+BASELINE_REGISTRY: Dict[str, Callable[..., Localizer]] = {
+    "KNN": KNNLocalizer,
+    "NaiveBayes": NaiveBayesLocalizer,
+    "GPC": GaussianProcessLocalizer,
+    "DNN": DNNLocalizer,
+    "CNN": CNNLocalizer,
+    "AdvLoc": AdvLocLocalizer,
+    "ANVIL": ANVILLocalizer,
+    "SANGRIA": SANGRIALocalizer,
+    "WiDeep": WiDeepLocalizer,
+}
+
+
+def make_baseline(name: str, **kwargs) -> Localizer:
+    """Instantiate a baseline localizer by its figure/paper name."""
+    if name not in BASELINE_REGISTRY:
+        raise KeyError(f"unknown baseline '{name}'; expected one of {sorted(BASELINE_REGISTRY)}")
+    return BASELINE_REGISTRY[name](**kwargs)

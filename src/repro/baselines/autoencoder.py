@@ -1,0 +1,149 @@
+"""Autoencoder substrates for the SANGRIA and WiDeep baselines.
+
+* SANGRIA [19] pre-trains a *stacked autoencoder* on clean fingerprints and
+  feeds the encoded representation to a gradient-boosted tree classifier.
+* WiDeep [14] pre-trains a *de-noising autoencoder* (noise is added to the
+  input, the target is the clean fingerprint) and feeds the representation to
+  a Gaussian Process Classifier.
+
+Both are implemented on top of the ``repro.nn`` substrate so their encoders
+remain differentiable (which also lets white-box attacks flow through them).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import Adam, Linear, MSELoss, Module, ReLU, Sequential, Sigmoid, Tensor
+
+__all__ = ["StackedAutoencoder", "DenoisingAutoencoder"]
+
+
+class StackedAutoencoder(Module):
+    """Symmetric stacked autoencoder with ReLU hidden layers."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: Sequence[int] = (128, 64),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if not hidden_dims:
+            raise ValueError("hidden_dims must contain at least one layer width")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_dim = input_dim
+        self.hidden_dims = tuple(hidden_dims)
+
+        encoder_layers: List[Module] = []
+        previous = input_dim
+        for width in hidden_dims:
+            encoder_layers.append(Linear(previous, width, rng=rng))
+            encoder_layers.append(ReLU())
+            previous = width
+        self.encoder = Sequential(*encoder_layers)
+
+        decoder_layers: List[Module] = []
+        reversed_dims = list(hidden_dims[::-1][1:]) + [input_dim]
+        for width in reversed_dims:
+            decoder_layers.append(Linear(previous, width, rng=rng))
+            if width != input_dim:
+                decoder_layers.append(ReLU())
+            previous = width
+        decoder_layers.append(Sigmoid())
+        self.decoder = Sequential(*decoder_layers)
+
+    @property
+    def latent_dim(self) -> int:
+        """Dimensionality of the encoded representation."""
+        return self.hidden_dims[-1]
+
+    def encode(self, inputs: Tensor) -> Tensor:
+        """Map inputs to the latent representation."""
+        return self.encoder(inputs)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.decoder(self.encoder(inputs))
+
+    # ------------------------------------------------------------------
+    def pretrain(
+        self,
+        features: np.ndarray,
+        epochs: int = 40,
+        lr: float = 1e-3,
+        batch_size: int = 64,
+        corruption_std: float = 0.0,
+        seed: int = 0,
+    ) -> List[float]:
+        """Reconstruction pre-training; returns the per-epoch loss history.
+
+        ``corruption_std > 0`` turns this into de-noising pre-training: noise
+        is added to the inputs while the clean fingerprint stays the target.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        rng = np.random.default_rng(seed)
+        optimizer = Adam(self.parameters(), lr=lr)
+        loss_fn = MSELoss()
+        history: List[float] = []
+        num_samples = features.shape[0]
+        batch_size = min(batch_size, num_samples)
+        for _ in range(epochs):
+            order = rng.permutation(num_samples)
+            epoch_losses = []
+            for start in range(0, num_samples, batch_size):
+                batch = features[order[start : start + batch_size]]
+                corrupted = batch
+                if corruption_std > 0:
+                    corrupted = batch + rng.normal(0.0, corruption_std, size=batch.shape)
+                optimizer.zero_grad()
+                reconstruction = self(Tensor(corrupted))
+                loss = loss_fn(reconstruction, batch)
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            history.append(float(np.mean(epoch_losses)))
+        return history
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Encode ``features`` into the latent space (no gradients)."""
+        self.eval()
+        encoded = self.encode(Tensor(np.asarray(features, dtype=np.float64)))
+        return encoded.data.copy()
+
+
+class DenoisingAutoencoder(StackedAutoencoder):
+    """A stacked autoencoder trained with input corruption (WiDeep-style)."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: Sequence[int] = (128,),
+        corruption_std: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(input_dim, hidden_dims=hidden_dims, rng=rng)
+        if corruption_std < 0:
+            raise ValueError("corruption_std must be non-negative")
+        self.corruption_std = corruption_std
+
+    def pretrain(
+        self,
+        features: np.ndarray,
+        epochs: int = 40,
+        lr: float = 1e-3,
+        batch_size: int = 64,
+        corruption_std: Optional[float] = None,
+        seed: int = 0,
+    ) -> List[float]:
+        """De-noising pre-training using the configured corruption level."""
+        std = self.corruption_std if corruption_std is None else corruption_std
+        return super().pretrain(
+            features,
+            epochs=epochs,
+            lr=lr,
+            batch_size=batch_size,
+            corruption_std=std,
+            seed=seed,
+        )

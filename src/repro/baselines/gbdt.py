@@ -1,0 +1,223 @@
+"""Gradient-boosted decision trees (substrate for the SANGRIA baseline).
+
+SANGRIA [19] couples a stacked autoencoder with a *categorical
+gradient-boosted tree classifier*.  Since no tree library is available
+offline, this module implements the required substrate from scratch:
+
+* :class:`DecisionTreeRegressor` — CART regression trees with squared-error
+  splits (quantile-subsampled thresholds for speed), and
+* :class:`GradientBoostedClassifier` — multi-class boosting that fits one
+  regression tree per class per round on the softmax residuals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["DecisionTreeRegressor", "GradientBoostedClassifier"]
+
+
+@dataclass
+class _TreeNode:
+    """Internal binary-tree node."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+class DecisionTreeRegressor:
+    """CART regression tree with squared-error splitting criterion."""
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_leaf: int = 2,
+        max_thresholds: int = 8,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth <= 0:
+            raise ValueError("max_depth must be positive")
+        if min_samples_leaf <= 0:
+            raise ValueError("min_samples_leaf must be positive")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_thresholds = max_thresholds
+        self.max_features = max_features
+        self.seed = seed
+        self._root: Optional[_TreeNode] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D array")
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("features and targets disagree on the number of samples")
+        rng = np.random.default_rng(self.seed)
+        self._root = self._build(features, targets, depth=0, rng=rng)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree must be fitted before prediction")
+        features = np.asarray(features, dtype=np.float64)
+        return np.array([self._predict_row(row) for row in features], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def _build(
+        self, features: np.ndarray, targets: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _TreeNode:
+        node = _TreeNode(value=float(targets.mean()) if targets.size else 0.0)
+        if (
+            depth >= self.max_depth
+            or targets.size < 2 * self.min_samples_leaf
+            or np.allclose(targets, targets[0])
+        ):
+            return node
+        best = self._best_split(features, targets, rng)
+        if best is None:
+            return node
+        feature, threshold, left_mask = best
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(features[left_mask], targets[left_mask], depth + 1, rng)
+        node.right = self._build(features[~left_mask], targets[~left_mask], depth + 1, rng)
+        return node
+
+    def _best_split(
+        self, features: np.ndarray, targets: np.ndarray, rng: np.random.Generator
+    ):
+        num_samples, num_features = features.shape
+        total_sum = targets.sum()
+        total_sq = (targets ** 2).sum()
+        base_score = total_sq - total_sum ** 2 / num_samples
+        best_gain = 1e-12
+        best = None
+        if self.max_features is not None and self.max_features < num_features:
+            candidate_features = rng.choice(num_features, size=self.max_features, replace=False)
+        else:
+            candidate_features = np.arange(num_features)
+        quantiles = np.linspace(0.1, 0.9, self.max_thresholds)
+        for feature in candidate_features:
+            column = features[:, feature]
+            thresholds = np.unique(np.quantile(column, quantiles))
+            for threshold in thresholds:
+                left_mask = column <= threshold
+                n_left = int(left_mask.sum())
+                n_right = num_samples - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left_sum = targets[left_mask].sum()
+                right_sum = total_sum - left_sum
+                left_sq = (targets[left_mask] ** 2).sum()
+                right_sq = total_sq - left_sq
+                score = (left_sq - left_sum ** 2 / n_left) + (right_sq - right_sum ** 2 / n_right)
+                gain = base_score - score
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float(threshold), left_mask.copy())
+        return best
+
+
+class GradientBoostedClassifier:
+    """Multi-class gradient boosting with softmax loss.
+
+    Each boosting round fits one shallow regression tree per class on the
+    negative gradient of the multinomial deviance (``one_hot - softmax``).
+    """
+
+    def __init__(
+        self,
+        num_rounds: int = 20,
+        learning_rate: float = 0.3,
+        max_depth: int = 3,
+        min_samples_leaf: int = 2,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.num_rounds = num_rounds
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: List[List[DecisionTreeRegressor]] = []
+        self._num_classes = 0
+        self._prior: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=1, keepdims=True)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "GradientBoostedClassifier":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        num_samples = features.shape[0]
+        self._num_classes = int(labels.max()) + 1
+        one_hot = np.zeros((num_samples, self._num_classes))
+        one_hot[np.arange(num_samples), labels] = 1.0
+        class_frequency = one_hot.mean(axis=0)
+        self._prior = np.log(np.clip(class_frequency, 1e-12, None))
+        logits = np.tile(self._prior, (num_samples, 1))
+        self._trees = []
+        for round_index in range(self.num_rounds):
+            probabilities = self._softmax(logits)
+            residuals = one_hot - probabilities
+            round_trees: List[DecisionTreeRegressor] = []
+            for class_index in range(self._num_classes):
+                tree = DecisionTreeRegressor(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    max_features=self.max_features,
+                    seed=self.seed + round_index * self._num_classes + class_index,
+                )
+                tree.fit(features, residuals[:, class_index])
+                update = tree.predict(features)
+                logits[:, class_index] += self.learning_rate * update
+                round_trees.append(tree)
+            self._trees.append(round_trees)
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Raw (pre-softmax) class scores."""
+        if self._prior is None:
+            raise RuntimeError("model must be fitted before prediction")
+        features = np.asarray(features, dtype=np.float64)
+        logits = np.tile(self._prior, (features.shape[0], 1))
+        for round_trees in self._trees:
+            for class_index, tree in enumerate(round_trees):
+                logits[:, class_index] += self.learning_rate * tree.predict(features)
+        return logits
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities."""
+        return self._softmax(self.decision_function(features))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most likely class per sample."""
+        return self.decision_function(features).argmax(axis=1)

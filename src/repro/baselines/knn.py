@@ -1,0 +1,70 @@
+"""K-Nearest-Neighbors fingerprint localization (classical baseline [13])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.fingerprint import FingerprintDataset
+from ..interfaces import Localizer
+
+__all__ = ["KNNLocalizer"]
+
+
+class KNNLocalizer(Localizer):
+    """Classify a fingerprint by majority vote among its k nearest neighbours.
+
+    Distances are Euclidean in the normalised RSS feature space, the standard
+    choice for RSS fingerprinting (e.g. QA-KNN [13]).
+    """
+
+    name = "KNN"
+
+    def __init__(self, k: int = 5) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self._features: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._num_classes = 0
+
+    def fit(self, dataset: FingerprintDataset) -> "KNNLocalizer":
+        self._features = dataset.features
+        self._labels = dataset.labels.copy()
+        self._num_classes = dataset.num_classes
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._features is None:
+            raise RuntimeError("KNN must be fitted before prediction")
+        features = np.asarray(features, dtype=np.float64)
+        k = min(self.k, self._features.shape[0])
+        # Squared Euclidean distances between every query and every stored scan.
+        distances = (
+            (features ** 2).sum(axis=1, keepdims=True)
+            - 2.0 * features @ self._features.T
+            + (self._features ** 2).sum(axis=1)[None, :]
+        )
+        neighbour_indices = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
+        predictions = np.empty(features.shape[0], dtype=np.int64)
+        for row, neighbours in enumerate(neighbour_indices):
+            votes = np.bincount(self._labels[neighbours], minlength=self._num_classes)
+            predictions[row] = int(votes.argmax())
+        return predictions
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Vote fractions among the k nearest neighbours."""
+        if self._features is None:
+            raise RuntimeError("KNN must be fitted before prediction")
+        features = np.asarray(features, dtype=np.float64)
+        k = min(self.k, self._features.shape[0])
+        distances = (
+            (features ** 2).sum(axis=1, keepdims=True)
+            - 2.0 * features @ self._features.T
+            + (self._features ** 2).sum(axis=1)[None, :]
+        )
+        neighbour_indices = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
+        probabilities = np.zeros((features.shape[0], self._num_classes))
+        for row, neighbours in enumerate(neighbour_indices):
+            votes = np.bincount(self._labels[neighbours], minlength=self._num_classes)
+            probabilities[row] = votes / votes.sum()
+        return probabilities

@@ -1,0 +1,154 @@
+"""Shared training machinery for neural-network localizers.
+
+DNN [15], CNN [16], ANVIL [17], AdvLoc [24] and the CALLOC no-curriculum
+ablation all share the same outer loop: mini-batch Adam training of a
+classification network over reference-point classes, followed by argmax
+prediction.  :class:`NeuralNetworkLocalizer` implements that loop once; each
+baseline only defines how its network is built (and, for AdvLoc, how the
+training set is augmented).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+import numpy as np
+
+from ..data.fingerprint import FingerprintDataset
+from ..interfaces import DifferentiableLocalizer
+from ..nn import Adam, CrossEntropyLoss, Module, Tensor, no_grad
+
+__all__ = ["NeuralNetworkLocalizer"]
+
+
+class NeuralNetworkLocalizer(DifferentiableLocalizer):
+    """Base class for localizers backed by a ``repro.nn`` network.
+
+    Parameters
+    ----------
+    epochs:
+        Number of passes over the training fingerprints.
+    lr:
+        Adam learning rate.
+    batch_size:
+        Mini-batch size (clipped to the dataset size).
+    seed:
+        Seed for weight initialisation and batch shuffling.
+    """
+
+    name = "neural"
+
+    def __init__(
+        self,
+        epochs: int = 60,
+        lr: float = 1e-3,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.seed = seed
+        self.network: Optional[Module] = None
+        self.loss_history: List[float] = []
+        self._loss = CrossEntropyLoss()
+        self._num_classes = 0
+        self._num_aps = 0
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def build_network(self, num_aps: int, num_classes: int) -> Module:
+        """Construct the classification network for the given dimensions."""
+
+    def prepare_training_data(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple:
+        """Optionally transform/augment the training data (AdvLoc overrides)."""
+        return features, labels
+
+    def forward_features(self, features: np.ndarray, requires_grad: bool = False) -> Tensor:
+        """Run the network on normalised features, returning logits."""
+        inputs = Tensor(np.asarray(features, dtype=np.float64), requires_grad=requires_grad)
+        logits = self.network(inputs)
+        return logits, inputs
+
+    # ------------------------------------------------------------------
+    # Localizer interface
+    # ------------------------------------------------------------------
+    def fit(self, dataset: FingerprintDataset) -> "NeuralNetworkLocalizer":
+        features = dataset.features
+        labels = dataset.labels
+        self._num_aps = dataset.num_aps
+        self._num_classes = dataset.num_classes
+        self.network = self.build_network(self._num_aps, self._num_classes)
+        features, labels = self.prepare_training_data(features, labels)
+        self.loss_history = self._train(features, labels)
+        return self
+
+    def _train(self, features: np.ndarray, labels: np.ndarray) -> List[float]:
+        optimizer = Adam(self.network.parameters(), lr=self.lr)
+        history: List[float] = []
+        num_samples = features.shape[0]
+        batch_size = min(self.batch_size, num_samples)
+        self.network.train()
+        for _ in range(self.epochs):
+            order = self._rng.permutation(num_samples)
+            epoch_losses = []
+            for start in range(0, num_samples, batch_size):
+                batch = order[start : start + batch_size]
+                optimizer.zero_grad()
+                logits, _ = self.forward_features(features[batch])
+                loss = self._loss(logits, labels[batch])
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            history.append(float(np.mean(epoch_losses)))
+        self.network.eval()
+        return history
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.network is None:
+            raise RuntimeError(f"{self.name} must be fitted before prediction")
+        self.network.eval()
+        with no_grad():
+            logits, _ = self.forward_features(features)
+        return logits.data.argmax(axis=1)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.network is None:
+            raise RuntimeError(f"{self.name} must be fitted before prediction")
+        self.network.eval()
+        with no_grad():
+            logits, _ = self.forward_features(features)
+        shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=1, keepdims=True)
+
+    # ------------------------------------------------------------------
+    # GradientProvider protocol (white-box attacks)
+    # ------------------------------------------------------------------
+    def loss_gradient(self, features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        if self.network is None:
+            raise RuntimeError(f"{self.name} must be fitted before computing gradients")
+        self.network.eval()
+        logits, inputs = self.forward_features(features, requires_grad=True)
+        loss = self._loss(logits, np.asarray(labels, dtype=np.int64))
+        loss.backward()
+        return inputs.grad.copy()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_classes(self) -> int:
+        return self._num_classes
+
+    @property
+    def num_aps(self) -> int:
+        return self._num_aps

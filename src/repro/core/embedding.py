@@ -1,0 +1,86 @@
+"""Lower-dimensional hyperspace embedding networks (Sec. IV.B).
+
+CALLOC maps both the curriculum (possibly attacked) fingerprints and the
+original clean fingerprints into 128-dimensional "hyperspaces":
+
+* :class:`CurriculumEmbedding` — a plain dense projection used for the
+  curriculum lesson data (the attention *query* side, :math:`H^C_i`);
+* :class:`OriginalEmbedding` — the projection of the clean offline database
+  (the attention *key* side, :math:`H^O`) with dropout (rate 0.2) and additive
+  Gaussian noise (σ = 0.32) layers that simulate environmental and device
+  variations during training.
+
+Both are trained end-to-end with the rest of the model; the paper also
+supervises them with an MSE objective, which is exposed via
+:meth:`reconstruction_loss` and mixed into the training loss by the trainer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Dropout, GaussianNoise, Linear, MSELoss, Module, Tensor
+
+__all__ = ["CurriculumEmbedding", "OriginalEmbedding"]
+
+
+class CurriculumEmbedding(Module):
+    """Dense projection of curriculum-lesson fingerprints into :math:`H^C_i`."""
+
+    def __init__(
+        self,
+        num_aps: int,
+        embed_dim: int = 128,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.num_aps = num_aps
+        self.embed_dim = embed_dim
+        # A single dense projection, as in the paper's 128-neuron embedding
+        # networks.  Keeping it linear preserves the dot-product geometry of
+        # the RSS space, which is what the attention similarity relies on.
+        self.projection = Linear(num_aps, embed_dim, rng=rng)
+        self._decoder = Linear(embed_dim, num_aps, rng=rng)
+        self._mse = MSELoss()
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.projection(inputs)
+
+    def reconstruction_loss(self, inputs: Tensor) -> Tensor:
+        """MSE between the input and its reconstruction from the hyperspace.
+
+        This is the per-hyperspace mean-squared-error objective mentioned in
+        Sec. V.A; it keeps the low-dimensional space information-preserving.
+        """
+        hyperspace = self.forward(inputs)
+        reconstruction = self._decoder(hyperspace)
+        return self._mse(reconstruction, inputs.detach())
+
+
+class OriginalEmbedding(CurriculumEmbedding):
+    """Projection of the clean database into :math:`H^O` with augmentation.
+
+    Dropout randomly removes AP contributions so the model never over-relies
+    on individual access points; Gaussian noise models environment/device
+    variability.  Both are active only in training mode.
+    """
+
+    def __init__(
+        self,
+        num_aps: int,
+        embed_dim: int = 128,
+        dropout_rate: float = 0.2,
+        noise_std: float = 0.32,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(num_aps, embed_dim=embed_dim, rng=rng)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.dropout = Dropout(dropout_rate, rng=rng)
+        self.noise = GaussianNoise(noise_std, rng=rng)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        augmented = self.noise(self.dropout(inputs))
+        return self.projection(augmented)

@@ -1,0 +1,71 @@
+"""``repro.data`` — Wi-Fi RSS fingerprint data substrate.
+
+Stands in for the paper's real-world measurement campaign (EPIC-CSU
+heterogeneous RSSI dataset): buildings parameterised to Table II, smartphones
+parameterised to Table I, a physics-inspired propagation model, and the
+campaign simulator that reproduces the offline/online collection protocol.
+"""
+
+from .campaign import (
+    CampaignConfig,
+    LocalizationCampaign,
+    collect_campaign,
+    collect_paper_campaigns,
+)
+from .devices import (
+    PAPER_DEVICES,
+    TRAINING_DEVICE,
+    DeviceProfile,
+    device_acronyms,
+    paper_device,
+    paper_devices,
+)
+from .fingerprint import FingerprintDataset, denormalize_rss, normalize_rss
+from .floorplan import (
+    MATERIAL_ATTENUATION_DB,
+    PAPER_BUILDING_SPECS,
+    AccessPoint,
+    Building,
+    BuildingSpec,
+    Material,
+    ReferencePoint,
+    Wall,
+    build_building,
+    paper_building,
+    paper_buildings,
+)
+from .io import load_dataset_csv, save_dataset_csv
+from .propagation import RSS_CEIL_DBM, RSS_FLOOR_DBM, PropagationConfig, PropagationModel
+
+__all__ = [
+    "CampaignConfig",
+    "LocalizationCampaign",
+    "collect_campaign",
+    "collect_paper_campaigns",
+    "DeviceProfile",
+    "PAPER_DEVICES",
+    "TRAINING_DEVICE",
+    "paper_device",
+    "paper_devices",
+    "device_acronyms",
+    "FingerprintDataset",
+    "normalize_rss",
+    "denormalize_rss",
+    "Material",
+    "MATERIAL_ATTENUATION_DB",
+    "AccessPoint",
+    "Wall",
+    "ReferencePoint",
+    "Building",
+    "BuildingSpec",
+    "PAPER_BUILDING_SPECS",
+    "build_building",
+    "paper_building",
+    "paper_buildings",
+    "load_dataset_csv",
+    "save_dataset_csv",
+    "PropagationConfig",
+    "PropagationModel",
+    "RSS_FLOOR_DBM",
+    "RSS_CEIL_DBM",
+]

@@ -1,0 +1,172 @@
+"""Simulated fingerprint collection campaign.
+
+Reproduces the paper's data-collection protocol (Sec. V.A):
+
+* training fingerprints are collected with a single device (OnePlus 3),
+  5 scans per reference point per building;
+* test fingerprints are collected with *every* device (Table I),
+  1 scan per reference point per device per building;
+* reference points have a physical granularity of 1 m along the walking path.
+
+Since the real measurement campaign is unavailable offline, scans are drawn
+from the :class:`~repro.data.propagation.PropagationModel` and passed through
+the per-device heterogeneity transform.  The resulting
+:class:`LocalizationCampaign` bundles a training set and per-device test sets
+and is the single data object consumed by models, attacks and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .devices import PAPER_DEVICES, TRAINING_DEVICE, DeviceProfile, paper_devices
+from .fingerprint import FingerprintDataset
+from .floorplan import Building, paper_building, paper_buildings
+from .propagation import PropagationConfig, PropagationModel
+
+__all__ = ["CampaignConfig", "LocalizationCampaign", "collect_campaign", "collect_paper_campaigns"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of a simulated data-collection campaign."""
+
+    #: Scans collected per reference point for the offline database.
+    train_fingerprints_per_rp: int = 5
+    #: Scans per reference point per device reserved for testing.
+    test_fingerprints_per_rp: int = 1
+    #: Acronym of the device used to collect the training data.
+    training_device: str = TRAINING_DEVICE
+    #: Devices used during the online (testing) phase.
+    test_devices: Sequence[str] = tuple(PAPER_DEVICES)
+    #: Seed for scan-level randomness (temporal noise, chipset noise).
+    seed: int = 7
+    #: Optional override of the propagation constants.
+    propagation: PropagationConfig = field(default_factory=PropagationConfig)
+
+
+@dataclass
+class LocalizationCampaign:
+    """All data collected in one building: training set plus per-device test sets."""
+
+    building: Building
+    train: FingerprintDataset
+    test_by_device: Dict[str, FingerprintDataset]
+    config: CampaignConfig
+
+    @property
+    def building_name(self) -> str:
+        return self.building.name
+
+    @property
+    def num_aps(self) -> int:
+        return self.train.num_aps
+
+    @property
+    def num_classes(self) -> int:
+        return self.train.num_classes
+
+    def test_all_devices(self) -> FingerprintDataset:
+        """Concatenate the test sets of every device."""
+        return FingerprintDataset.concatenate(list(self.test_by_device.values()))
+
+    def test_for(self, acronym: str) -> FingerprintDataset:
+        """Test set for one device acronym."""
+        if acronym not in self.test_by_device:
+            raise KeyError(
+                f"no test data for device '{acronym}'; available: {sorted(self.test_by_device)}"
+            )
+        return self.test_by_device[acronym]
+
+    def summary(self) -> str:
+        """Human-readable campaign description."""
+        lines = [
+            f"Campaign for {self.building_name}: {self.num_aps} APs, {self.num_classes} RPs",
+            f"  train ({self.config.training_device}): {self.train.num_samples} fingerprints",
+        ]
+        for device, dataset in self.test_by_device.items():
+            lines.append(f"  test  ({device}): {dataset.num_samples} fingerprints")
+        return "\n".join(lines)
+
+
+def _collect_for_device(
+    model: PropagationModel,
+    device: DeviceProfile,
+    scans_per_rp: int,
+    rng: np.random.Generator,
+) -> tuple:
+    """Collect ``scans_per_rp`` device-observed scans at every reference point."""
+    building = model.building
+    num_rps = building.num_reference_points
+    rp_indices = np.repeat(np.arange(num_rps), scans_per_rp)
+    channel_rss = model.sample_batch(rp_indices, rng)
+    observed = device.apply(channel_rss, rng)
+    return observed, rp_indices
+
+
+def collect_campaign(
+    building: Building,
+    config: Optional[CampaignConfig] = None,
+) -> LocalizationCampaign:
+    """Simulate the full offline + online data collection in ``building``."""
+    config = config or CampaignConfig()
+    if config.train_fingerprints_per_rp <= 0 or config.test_fingerprints_per_rp <= 0:
+        raise ValueError("fingerprints per reference point must be positive")
+    if config.training_device not in PAPER_DEVICES:
+        raise KeyError(f"unknown training device '{config.training_device}'")
+    propagation = PropagationModel(building, config=config.propagation, seed=config.seed)
+    rng = np.random.default_rng(config.seed)
+    rp_positions = building.rp_positions()
+
+    # Offline phase: training database collected with the designated device.
+    train_device = PAPER_DEVICES[config.training_device]
+    train_rss, train_labels = _collect_for_device(
+        propagation, train_device, config.train_fingerprints_per_rp, rng
+    )
+    train = FingerprintDataset(
+        rss_dbm=train_rss,
+        labels=train_labels,
+        rp_positions=rp_positions,
+        building=building.name,
+        devices=config.training_device,
+    )
+
+    # Online phase: held-out scans for every test device.
+    test_by_device: Dict[str, FingerprintDataset] = {}
+    for acronym in config.test_devices:
+        if acronym not in PAPER_DEVICES:
+            raise KeyError(f"unknown test device '{acronym}'")
+        device = PAPER_DEVICES[acronym]
+        test_rss, test_labels = _collect_for_device(
+            propagation, device, config.test_fingerprints_per_rp, rng
+        )
+        test_by_device[acronym] = FingerprintDataset(
+            rss_dbm=test_rss,
+            labels=test_labels,
+            rp_positions=rp_positions,
+            building=building.name,
+            devices=acronym,
+        )
+    return LocalizationCampaign(
+        building=building, train=train, test_by_device=test_by_device, config=config
+    )
+
+
+def collect_paper_campaigns(
+    rp_granularity_m: float = 1.0,
+    config: Optional[CampaignConfig] = None,
+    buildings: Optional[Sequence[str]] = None,
+) -> Dict[str, LocalizationCampaign]:
+    """Collect campaigns for the five Table II buildings (or a named subset)."""
+    config = config or CampaignConfig()
+    campaigns: Dict[str, LocalizationCampaign] = {}
+    if buildings is None:
+        selected = paper_buildings(rp_granularity_m=rp_granularity_m)
+    else:
+        selected = [paper_building(name, rp_granularity_m=rp_granularity_m) for name in buildings]
+    for building in selected:
+        campaigns[building.name] = collect_campaign(building, config)
+    return campaigns

@@ -1,0 +1,188 @@
+"""Smartphone device heterogeneity models (Table I).
+
+Device heterogeneity — two devices observing different RSS for the same
+channel at the same place and time — is one of the three noise sources CALLOC
+is designed to withstand.  It originates from differences in Wi-Fi chipsets
+(antenna gain, RSSI estimation algorithm, quantisation) and firmware noise
+filtering.  Each :class:`DeviceProfile` models the device-specific
+transformation applied to the "true" channel RSS:
+
+``observed = gain * true + offset + chipset_noise``, followed by quantisation
+and the device's own detection threshold.
+
+The six smartphones of Table I are provided via :func:`paper_devices`.  The
+OnePlus 3 (``OP3``) is the designated training-data collection device, as in
+the paper's experimental setup (Sec. V.A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .propagation import RSS_CEIL_DBM, RSS_FLOOR_DBM
+
+__all__ = [
+    "DeviceProfile",
+    "PAPER_DEVICES",
+    "TRAINING_DEVICE",
+    "paper_devices",
+    "paper_device",
+    "device_acronyms",
+]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Hardware/firmware characteristics of a fingerprinting device."""
+
+    manufacturer: str
+    model: str
+    acronym: str
+    #: Constant RSSI bias of the chipset in dB.
+    rss_offset_db: float = 0.0
+    #: Multiplicative gain applied to the (negative) dBm values.
+    rss_gain: float = 1.0
+    #: Standard deviation of chipset measurement noise in dB.
+    noise_std_db: float = 1.0
+    #: Signals weaker than this are not reported by the device.
+    detection_threshold_dbm: float = -95.0
+    #: RSSI quantisation step of the driver (dB).
+    quantization_db: float = 1.0
+    #: Standard deviation (dB) of the fixed per-AP response of this device's
+    #: antenna/chipset (frequency- and direction-dependent gain).  This is the
+    #: component of heterogeneity that a model trained on another device
+    #: cannot absorb as a constant bias.
+    ap_response_std_db: float = 2.0
+
+    def ap_response(self, num_aps: int) -> np.ndarray:
+        """Deterministic per-AP gain offsets (dB) for this device.
+
+        The offsets are seeded by the device acronym so every campaign sees
+        the same hardware signature for a given device.
+        """
+        seed = int.from_bytes(self.acronym.encode("utf-8"), "little") % (2 ** 31)
+        rng = np.random.default_rng(seed)
+        return rng.normal(0.0, self.ap_response_std_db, size=num_aps)
+
+    def apply(self, rss_dbm: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Transform true channel RSS into what this device reports.
+
+        Parameters
+        ----------
+        rss_dbm:
+            Array of channel RSS values in dBm; the last axis indexes APs.
+        rng:
+            Random generator for the chipset noise.
+        """
+        rss_dbm = np.asarray(rss_dbm, dtype=np.float64)
+        observed = self.rss_gain * rss_dbm + self.rss_offset_db
+        if self.ap_response_std_db > 0:
+            observed = observed + self.ap_response(rss_dbm.shape[-1])
+        if self.noise_std_db > 0:
+            observed = observed + rng.normal(0.0, self.noise_std_db, size=rss_dbm.shape)
+        if self.quantization_db > 0:
+            observed = np.round(observed / self.quantization_db) * self.quantization_db
+        observed = np.clip(observed, RSS_FLOOR_DBM, RSS_CEIL_DBM)
+        observed = np.where(
+            observed < self.detection_threshold_dbm, RSS_FLOOR_DBM, observed
+        )
+        # An AP the channel did not deliver at all stays undetected regardless
+        # of the device transformation.
+        observed = np.where(rss_dbm <= RSS_FLOOR_DBM, RSS_FLOOR_DBM, observed)
+        return observed
+
+
+#: Table I devices.  Offsets/gains/noise levels are chosen to span the
+#: heterogeneity range reported in smartphone RSSI studies (up to ~±6 dB bias
+#: and noticeably different noise floors between chipsets).
+PAPER_DEVICES: Dict[str, DeviceProfile] = {
+    "BLU": DeviceProfile(
+        manufacturer="BLU",
+        model="Vivo 8",
+        acronym="BLU",
+        rss_offset_db=-4.0,
+        rss_gain=1.05,
+        noise_std_db=1.8,
+        detection_threshold_dbm=-93.0,
+        quantization_db=1.0,
+        ap_response_std_db=2.6,
+    ),
+    "HTC": DeviceProfile(
+        manufacturer="HTC",
+        model="U11",
+        acronym="HTC",
+        rss_offset_db=2.5,
+        rss_gain=0.97,
+        noise_std_db=1.2,
+        detection_threshold_dbm=-96.0,
+        quantization_db=1.0,
+        ap_response_std_db=2.2,
+    ),
+    "S7": DeviceProfile(
+        manufacturer="Samsung",
+        model="Galaxy S7",
+        acronym="S7",
+        rss_offset_db=-1.5,
+        rss_gain=1.02,
+        noise_std_db=1.0,
+        detection_threshold_dbm=-95.0,
+        quantization_db=1.0,
+        ap_response_std_db=1.8,
+    ),
+    "LG": DeviceProfile(
+        manufacturer="LG",
+        model="V20",
+        acronym="LG",
+        rss_offset_db=3.5,
+        rss_gain=0.94,
+        noise_std_db=1.5,
+        detection_threshold_dbm=-94.0,
+        quantization_db=2.0,
+        ap_response_std_db=2.8,
+    ),
+    "MOTO": DeviceProfile(
+        manufacturer="Motorola",
+        model="Z2",
+        acronym="MOTO",
+        rss_offset_db=-6.0,
+        rss_gain=1.08,
+        noise_std_db=2.2,
+        detection_threshold_dbm=-92.0,
+        quantization_db=1.0,
+        ap_response_std_db=3.4,
+    ),
+    "OP3": DeviceProfile(
+        manufacturer="Oneplus",
+        model="3",
+        acronym="OP3",
+        rss_offset_db=0.0,
+        rss_gain=1.0,
+        noise_std_db=0.8,
+        detection_threshold_dbm=-96.0,
+        quantization_db=1.0,
+        ap_response_std_db=0.0,
+    ),
+}
+
+#: The device used to collect the offline (training) fingerprints.
+TRAINING_DEVICE = "OP3"
+
+
+def paper_devices() -> List[DeviceProfile]:
+    """Return the six Table I device profiles."""
+    return list(PAPER_DEVICES.values())
+
+
+def paper_device(acronym: str) -> DeviceProfile:
+    """Return a single Table I device by acronym (e.g. ``"OP3"``)."""
+    if acronym not in PAPER_DEVICES:
+        raise KeyError(f"unknown device '{acronym}'; expected one of {sorted(PAPER_DEVICES)}")
+    return PAPER_DEVICES[acronym]
+
+
+def device_acronyms() -> List[str]:
+    """Acronyms of the Table I devices, in table order."""
+    return list(PAPER_DEVICES)

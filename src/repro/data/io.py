@@ -1,0 +1,104 @@
+"""CSV import/export of fingerprint datasets.
+
+The layout matches the public EPIC-CSU "heterogeneous RSSI indoor navigation"
+release the paper points to: one row per scan with columns
+
+``AP000, AP001, ..., RP, X, Y, DEVICE, BUILDING``
+
+so that the real dataset can be dropped into the pipeline by converting it to
+this format, and so synthetic campaigns generated here can be persisted and
+shared.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from .fingerprint import FingerprintDataset
+
+__all__ = ["save_dataset_csv", "load_dataset_csv"]
+
+PathLike = Union[str, Path]
+
+
+def _ap_column_names(num_aps: int) -> List[str]:
+    return [f"AP{index:03d}" for index in range(num_aps)]
+
+
+def save_dataset_csv(dataset: FingerprintDataset, path: PathLike) -> Path:
+    """Write ``dataset`` to ``path`` in the EPIC-CSU-compatible CSV layout."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    ap_columns = _ap_column_names(dataset.num_aps)
+    header = ap_columns + ["RP", "X", "Y", "DEVICE", "BUILDING"]
+    positions = dataset.positions_of()
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row_index in range(dataset.num_samples):
+            rss_values = [f"{value:.2f}" for value in dataset.rss_dbm[row_index]]
+            writer.writerow(
+                rss_values
+                + [
+                    int(dataset.labels[row_index]),
+                    f"{positions[row_index, 0]:.3f}",
+                    f"{positions[row_index, 1]:.3f}",
+                    str(dataset.devices[row_index]),
+                    dataset.building,
+                ]
+            )
+    return path
+
+
+def load_dataset_csv(path: PathLike, rp_positions: Optional[np.ndarray] = None) -> FingerprintDataset:
+    """Load a fingerprint dataset previously written by :func:`save_dataset_csv`.
+
+    Parameters
+    ----------
+    path:
+        CSV file to read.
+    rp_positions:
+        Optional explicit ``(num_classes, 2)`` coordinate table.  When omitted
+        the coordinates are reconstructed from the per-row ``X``/``Y`` columns
+        (using the first occurrence of each reference-point label).
+    """
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"CSV file '{path}' contains no fingerprints")
+    ap_columns = [name for name in header if name.startswith("AP")]
+    num_aps = len(ap_columns)
+    column_index: Dict[str, int] = {name: idx for idx, name in enumerate(header)}
+    for required in ("RP", "X", "Y", "DEVICE", "BUILDING"):
+        if required not in column_index:
+            raise ValueError(f"CSV file '{path}' is missing the '{required}' column")
+
+    rss = np.array([[float(row[i]) for i in range(num_aps)] for row in rows], dtype=np.float64)
+    labels = np.array([int(row[column_index["RP"]]) for row in rows], dtype=np.int64)
+    xs = np.array([float(row[column_index["X"]]) for row in rows], dtype=np.float64)
+    ys = np.array([float(row[column_index["Y"]]) for row in rows], dtype=np.float64)
+    devices = np.array([row[column_index["DEVICE"]] for row in rows], dtype=object)
+    building = rows[0][column_index["BUILDING"]]
+
+    if rp_positions is None:
+        num_classes = int(labels.max()) + 1
+        rp_positions = np.zeros((num_classes, 2), dtype=np.float64)
+        seen = np.zeros(num_classes, dtype=bool)
+        for label, x, y in zip(labels, xs, ys):
+            if not seen[label]:
+                rp_positions[label] = (x, y)
+                seen[label] = True
+    return FingerprintDataset(
+        rss_dbm=rss,
+        labels=labels,
+        rp_positions=np.asarray(rp_positions, dtype=np.float64),
+        building=building,
+        devices=devices,
+    )

@@ -1,0 +1,197 @@
+"""Indoor Wi-Fi RSS propagation model.
+
+Generates the received signal strength (RSS, in dBm) observed at a reference
+point from each access point.  The model combines the standard ingredients of
+indoor radio propagation that fingerprinting systems rely on (and that make
+them spatially discriminative):
+
+* log-distance path loss with a building-dependent path-loss exponent,
+* per-wall attenuation determined by construction material (Table II),
+* log-normal shadow fading that is *fixed per (AP, RP) pair* — this is the
+  spatial structure a fingerprint database captures,
+* temporal measurement noise re-drawn per fingerprint scan, scaled by the
+  building's dynamic-noise level (people density, moving equipment), and
+* a detection threshold below which an AP is not observed at all.
+
+RSS values follow the paper's convention: measurements live in
+``[-100 dBm, 0 dBm]`` and a missing AP is reported as ``-100 dBm``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .floorplan import Building
+
+__all__ = ["PropagationConfig", "PropagationModel", "RSS_FLOOR_DBM", "RSS_CEIL_DBM"]
+
+#: Weakest representable signal (also used for "AP not detected").
+RSS_FLOOR_DBM = -100.0
+#: Strongest representable signal.
+RSS_CEIL_DBM = 0.0
+
+
+@dataclass(frozen=True)
+class PropagationConfig:
+    """Tunable parameters of the propagation model."""
+
+    #: Path loss at the reference distance of 1 m (free-space @ 2.4 GHz ≈ 40 dB).
+    reference_loss_db: float = 40.0
+    #: Log-distance path-loss exponent for indoor office environments.
+    path_loss_exponent: float = 3.0
+    #: Minimum distance used to avoid the log-singularity at d = 0.
+    min_distance_m: float = 0.5
+    #: APs weaker than this are considered undetected and reported as -100 dBm.
+    detection_threshold_dbm: float = -95.0
+    #: De-correlation distance (meters) of the shadow-fading field.  Nearby
+    #: reference points see similar shadowing, which is what makes adjacent
+    #: RPs genuinely confusable for a fingerprinting model.
+    shadowing_correlation_m: float = 8.0
+    #: Standard deviation (dB) of per-scan multipath / small-scale fading.
+    #: Added on top of the building's dynamic (people/equipment) noise.
+    multipath_std_db: float = 4.0
+    #: Probability that a visible AP is missed entirely in one scan (beacon
+    #: loss); missed APs are reported at the -100 dBm floor.
+    scan_dropout_rate: float = 0.25
+
+
+class PropagationModel:
+    """Deterministic-plus-stochastic RSS generator for a building.
+
+    Parameters
+    ----------
+    building:
+        The building whose geometry (AP positions, walls) drives propagation.
+    config:
+        Propagation constants; defaults are reasonable for 2.4 GHz Wi-Fi.
+    seed:
+        Seed for the *spatial* randomness (shadow fading).  Two models built
+        with the same building and seed produce identical mean RSS maps.
+    """
+
+    def __init__(
+        self,
+        building: Building,
+        config: Optional[PropagationConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.building = building
+        self.config = config or PropagationConfig()
+        self._seed = seed
+        rng = np.random.default_rng(seed)
+        #: Fixed per-(RP, AP) shadow fading in dB — the spatial fingerprint.
+        self._shadowing = self._correlated_shadowing(rng)
+        self._mean_rss = self._compute_mean_rss()
+
+    def _correlated_shadowing(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw a spatially correlated log-normal shadowing field.
+
+        Shadowing is modelled as a Gaussian process over reference-point
+        positions with an exponential correlation kernel
+        ``exp(-d / d_corr)``, independently per access point.  The correlation
+        makes neighbouring RPs look alike — the property that bounds how well
+        any fingerprinting model can do at fine granularity.
+        """
+        building = self.building
+        num_rps = building.num_reference_points
+        num_aps = building.num_access_points
+        std = building.spec.shadowing_std_db
+        if num_rps == 0 or num_aps == 0:
+            return np.zeros((num_rps, num_aps))
+        distances = building.rp_distance_matrix()
+        correlation = np.exp(-distances / max(self.config.shadowing_correlation_m, 1e-6))
+        # Cholesky with a small jitter for numerical robustness.
+        jitter = 1e-6 * np.eye(num_rps)
+        factor = np.linalg.cholesky(correlation + jitter)
+        white = rng.normal(0.0, 1.0, size=(num_rps, num_aps))
+        return std * (factor @ white)
+
+    # ------------------------------------------------------------------
+    def _compute_mean_rss(self) -> np.ndarray:
+        """Mean RSS map of shape ``(num_rps, num_aps)`` in dBm (unclipped)."""
+        cfg = self.config
+        building = self.building
+        num_rps = building.num_reference_points
+        num_aps = building.num_access_points
+        rss = np.empty((num_rps, num_aps), dtype=np.float64)
+        for rp_index, rp in enumerate(building.reference_points):
+            for ap_index, ap in enumerate(building.access_points):
+                distance = max(ap.distance_to(rp.position), cfg.min_distance_m)
+                path_loss = cfg.reference_loss_db + 10.0 * cfg.path_loss_exponent * np.log10(
+                    distance
+                )
+                wall_loss = building.wall_attenuation_db(ap, rp)
+                rss[rp_index, ap_index] = ap.tx_power_dbm - path_loss - wall_loss
+        return rss + self._shadowing
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_rss_dbm(self) -> np.ndarray:
+        """Mean (noise-free) RSS map of shape ``(num_rps, num_aps)``."""
+        return self._mean_rss
+
+    def sample(
+        self,
+        rp_index: int,
+        rng: np.random.Generator,
+        temporal_noise_db: Optional[float] = None,
+    ) -> np.ndarray:
+        """Draw one RSS fingerprint scan at reference point ``rp_index``.
+
+        Parameters
+        ----------
+        rp_index:
+            Index of the reference point where the scan is taken.
+        rng:
+            Random generator supplying the temporal (per-scan) noise.
+        temporal_noise_db:
+            Standard deviation of the per-scan noise.  Defaults to the
+            building's ``dynamic_noise_db`` (Table II characteristics).
+        """
+        if not 0 <= rp_index < self.building.num_reference_points:
+            raise IndexError(
+                f"rp_index {rp_index} out of range for {self.building.num_reference_points} RPs"
+            )
+        raw = self._noisy_scan(self._mean_rss[rp_index][None, :], rng, temporal_noise_db)[0]
+        return self.apply_detection(raw)
+
+    def sample_batch(
+        self,
+        rp_indices: np.ndarray,
+        rng: np.random.Generator,
+        temporal_noise_db: Optional[float] = None,
+    ) -> np.ndarray:
+        """Vectorised version of :meth:`sample` for many reference points."""
+        rp_indices = np.asarray(rp_indices, dtype=np.int64)
+        raw = self._noisy_scan(self._mean_rss[rp_indices], rng, temporal_noise_db)
+        return self.apply_detection(raw)
+
+    def _noisy_scan(
+        self,
+        mean_rss: np.ndarray,
+        rng: np.random.Generator,
+        temporal_noise_db: Optional[float],
+    ) -> np.ndarray:
+        """Add per-scan noise sources to a batch of mean RSS rows."""
+        cfg = self.config
+        dynamic_std = (
+            temporal_noise_db
+            if temporal_noise_db is not None
+            else self.building.spec.dynamic_noise_db
+        )
+        total_std = float(np.hypot(dynamic_std, cfg.multipath_std_db))
+        raw = mean_rss + rng.normal(0.0, total_std, size=mean_rss.shape)
+        if cfg.scan_dropout_rate > 0:
+            missed = rng.random(mean_rss.shape) < cfg.scan_dropout_rate
+            raw = np.where(missed, RSS_FLOOR_DBM, raw)
+        return raw
+
+    def apply_detection(self, rss_dbm: np.ndarray) -> np.ndarray:
+        """Clip to the physical range and mask undetected APs to -100 dBm."""
+        clipped = np.clip(rss_dbm, RSS_FLOOR_DBM, RSS_CEIL_DBM)
+        return np.where(
+            clipped < self.config.detection_threshold_dbm, RSS_FLOOR_DBM, clipped
+        )

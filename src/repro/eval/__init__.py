@@ -1,0 +1,50 @@
+"""``repro.eval`` — metrics, scenario grids and the experiment harness.
+
+Regenerates every table and figure of the paper's evaluation section; see
+:mod:`repro.eval.figures` for the per-artefact entry points.
+"""
+
+from .figures import (
+    ablation_adaptive,
+    baseline_factories,
+    calloc_factory,
+    fig1_attack_impact,
+    fig4_heatmaps,
+    fig5_curriculum,
+    fig6_sota,
+    fig7_phi_sweep,
+    table1_devices,
+    table2_buildings,
+    table3_model_budget,
+)
+from .metrics import ErrorStats, aggregate_stats, error_stats, improvement_factor
+from .reporting import ascii_table, format_factor_table, results_to_csv, text_heatmap
+from .runner import EvaluationRecord, ExperimentRunner, ResultSet
+from .scenarios import AttackScenario, EvaluationConfig
+
+__all__ = [
+    "ErrorStats",
+    "error_stats",
+    "aggregate_stats",
+    "improvement_factor",
+    "ascii_table",
+    "text_heatmap",
+    "format_factor_table",
+    "results_to_csv",
+    "EvaluationRecord",
+    "ExperimentRunner",
+    "ResultSet",
+    "AttackScenario",
+    "EvaluationConfig",
+    "table1_devices",
+    "table2_buildings",
+    "table3_model_budget",
+    "fig1_attack_impact",
+    "fig4_heatmaps",
+    "fig5_curriculum",
+    "fig6_sota",
+    "fig7_phi_sweep",
+    "ablation_adaptive",
+    "calloc_factory",
+    "baseline_factories",
+]

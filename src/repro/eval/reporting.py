@@ -1,0 +1,120 @@
+"""Plain-text reporting helpers (tables, heatmaps, CSV export).
+
+The paper presents its results as heatmaps (Fig. 4), bar groups (Figs. 1, 5,
+6) and line plots (Fig. 7).  Since this library targets headless benchmark
+runs, every artefact is rendered as text: aligned tables for the bars/lines
+and a character heatmap for Fig. 4.  ``results_to_csv`` writes the raw rows so
+real plots can be produced externally.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["ascii_table", "text_heatmap", "results_to_csv", "format_factor_table"]
+
+PathLike = Union[str, Path]
+
+
+def ascii_table(
+    rows: Sequence[Sequence[object]],
+    headers: Sequence[str],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rendered)) if rendered else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def text_heatmap(
+    matrix: np.ndarray,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: str = "",
+    cell_format: str = "{:5.2f}",
+) -> str:
+    """Render a matrix of localization errors as a labelled text heatmap.
+
+    A shade character (light → dark) encodes each cell relative to the matrix
+    range, which is enough to see the row/column structure the paper's Fig. 4
+    heatmaps convey.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.shape != (len(row_labels), len(col_labels)):
+        raise ValueError("matrix shape does not match the provided labels")
+    shades = " .:-=+*#%@"
+    low, high = float(matrix.min()), float(matrix.max())
+    span = (high - low) or 1.0
+
+    label_width = max(len(label) for label in row_labels)
+    col_width = max(max(len(label) for label in col_labels), 7)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (label_width + 1) + " ".join(label.rjust(col_width) for label in col_labels)
+    lines.append(header)
+    for row_label, row in zip(row_labels, matrix):
+        cells = []
+        for value in row:
+            shade = shades[int((value - low) / span * (len(shades) - 1))]
+            cells.append(f"{cell_format.format(value)}{shade}".rjust(col_width))
+        lines.append(f"{row_label.ljust(label_width)} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def format_factor_table(
+    calloc_stats: Dict[str, float],
+    baseline_stats: Dict[str, Dict[str, float]],
+) -> str:
+    """Fig. 6 style table: per-baseline mean/worst-case errors and CALLOC factors."""
+    rows: List[List[object]] = [
+        ["CALLOC", calloc_stats["mean"], calloc_stats["worst_case"], 1.0, 1.0]
+    ]
+    for name, stats in baseline_stats.items():
+        rows.append(
+            [
+                name,
+                stats["mean"],
+                stats["worst_case"],
+                stats["mean"] / calloc_stats["mean"],
+                stats["worst_case"] / calloc_stats["worst_case"],
+            ]
+        )
+    return ascii_table(
+        rows,
+        headers=["model", "mean err (m)", "worst err (m)", "mean factor", "worst factor"],
+    )
+
+
+def results_to_csv(rows: Sequence[Dict[str, object]], path: PathLike) -> Path:
+    """Write result rows (dictionaries) to a CSV file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        raise ValueError("no rows to write")
+    fieldnames = list(rows[0].keys())
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

@@ -1,0 +1,133 @@
+"""Evaluation scenario grids (devices × buildings × attacks × ε × ø).
+
+The paper's evaluation sweeps five buildings, six devices, three attack
+methods, ε from 0.1 to 0.5 and ø from 1 to 100.  Running the full grid with
+every model takes hours; :class:`EvaluationConfig` therefore exposes three
+profiles:
+
+* ``quick()`` — a single building, three devices, a reduced ε/ø grid and a
+  coarser reference-point granularity.  This is what the pytest benchmarks use
+  so the full suite finishes in minutes.
+* ``standard()`` — two buildings, all devices, the full ε grid.
+* ``full()`` — the paper's complete grid (for offline reproduction runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data.devices import device_acronyms
+from ..data.floorplan import PAPER_BUILDING_SPECS
+
+__all__ = ["AttackScenario", "EvaluationConfig"]
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    """One attack operating point."""
+
+    method: str = "FGSM"
+    epsilon: float = 0.1
+    phi_percent: float = 10.0
+    variant: str = "manipulation"
+    seed: int = 0
+
+    @property
+    def is_clean(self) -> bool:
+        """True when this scenario carries no adversarial perturbation."""
+        return self.epsilon == 0.0 or self.phi_percent == 0.0
+
+    def label(self) -> str:
+        """Short identifier used in result tables."""
+        if self.is_clean:
+            return "clean"
+        return f"{self.method}(eps={self.epsilon}, phi={self.phi_percent:.0f}%)"
+
+
+@dataclass(frozen=True)
+class EvaluationConfig:
+    """Everything needed to instantiate an evaluation grid."""
+
+    buildings: Tuple[str, ...] = ("Building 1",)
+    devices: Tuple[str, ...] = tuple(device_acronyms())
+    attack_methods: Tuple[str, ...] = ("FGSM", "PGD", "MIM")
+    epsilons: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
+    phi_percents: Tuple[float, ...] = (10.0, 25.0, 50.0, 75.0, 100.0)
+    #: Reference-point spacing in meters (1.0 reproduces the paper's setup).
+    rp_granularity_m: float = 1.0
+    #: Seeds used for the attack's targeted-AP selection (averaged over).
+    attack_seeds: Tuple[int, ...] = (11, 13)
+    #: Seed for the campaign simulation.
+    campaign_seed: int = 7
+    #: Epochs per curriculum lesson (and per clean lesson for baselines' epochs).
+    epochs_per_lesson: int = 10
+    #: Epoch budget handed to neural baselines.
+    baseline_epochs: int = 60
+    #: Training seed shared by all models.
+    model_seed: int = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def quick(cls) -> "EvaluationConfig":
+        """Small grid used by the pytest benchmarks (minutes, not hours)."""
+        return cls(
+            buildings=("Building 1",),
+            devices=("OP3", "S7", "MOTO"),
+            attack_methods=("FGSM", "PGD", "MIM"),
+            epsilons=(0.1, 0.3, 0.5),
+            phi_percents=(10.0, 50.0, 100.0),
+            rp_granularity_m=3.0,
+            attack_seeds=(11,),
+            epochs_per_lesson=8,
+            baseline_epochs=40,
+        )
+
+    @classmethod
+    def standard(cls) -> "EvaluationConfig":
+        """Medium grid: two contrasting buildings, every device."""
+        return cls(
+            buildings=("Building 1", "Building 3"),
+            devices=tuple(device_acronyms()),
+            epsilons=(0.1, 0.2, 0.3, 0.4, 0.5),
+            phi_percents=(10.0, 25.0, 50.0, 75.0, 100.0),
+            rp_granularity_m=2.0,
+        )
+
+    @classmethod
+    def full(cls) -> "EvaluationConfig":
+        """The paper's complete grid (use for offline reproduction runs)."""
+        return cls(
+            buildings=tuple(PAPER_BUILDING_SPECS),
+            devices=tuple(device_acronyms()),
+            epsilons=(0.1, 0.2, 0.3, 0.4, 0.5),
+            phi_percents=(1.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0),
+            rp_granularity_m=1.0,
+            attack_seeds=(11, 13, 17),
+        )
+
+    # ------------------------------------------------------------------
+    def scenarios(
+        self,
+        methods: Optional[Sequence[str]] = None,
+        epsilons: Optional[Sequence[float]] = None,
+        phi_percents: Optional[Sequence[float]] = None,
+    ) -> List[AttackScenario]:
+        """Expand the grid into a list of :class:`AttackScenario` objects."""
+        methods = tuple(methods) if methods is not None else self.attack_methods
+        epsilons = tuple(epsilons) if epsilons is not None else self.epsilons
+        phi_percents = tuple(phi_percents) if phi_percents is not None else self.phi_percents
+        grid: List[AttackScenario] = []
+        for method in methods:
+            for epsilon in epsilons:
+                for phi in phi_percents:
+                    for seed in self.attack_seeds:
+                        grid.append(
+                            AttackScenario(
+                                method=method,
+                                epsilon=epsilon,
+                                phi_percent=phi,
+                                seed=seed,
+                            )
+                        )
+        return grid

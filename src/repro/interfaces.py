@@ -1,0 +1,96 @@
+"""Common interfaces shared by CALLOC and every baseline localizer.
+
+All localization models in this library — the CALLOC framework itself and the
+state-of-the-art baselines it is compared against — implement the
+:class:`Localizer` interface: they are fitted on a
+:class:`~repro.data.fingerprint.FingerprintDataset` (the offline phase) and
+afterwards predict reference-point classes for normalised fingerprints (the
+online phase).  Localization error is always reported in meters, computed
+from the distance between the predicted and the true reference-point
+coordinates.
+
+Models backed by the ``repro.nn`` substrate additionally implement
+:class:`DifferentiableLocalizer`, exposing the input gradients required by
+the white-box adversarial attacks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from .data.fingerprint import FingerprintDataset
+
+__all__ = ["Localizer", "DifferentiableLocalizer", "localization_errors"]
+
+
+def localization_errors(
+    predicted_labels: np.ndarray,
+    true_labels: np.ndarray,
+    rp_positions: np.ndarray,
+) -> np.ndarray:
+    """Per-sample localization error in meters.
+
+    Parameters
+    ----------
+    predicted_labels / true_labels:
+        Integer reference-point indices, shape ``(num_samples,)``.
+    rp_positions:
+        Coordinates of every reference point, shape ``(num_classes, 2)``.
+    """
+    predicted_labels = np.asarray(predicted_labels, dtype=np.int64)
+    true_labels = np.asarray(true_labels, dtype=np.int64)
+    rp_positions = np.asarray(rp_positions, dtype=np.float64)
+    deltas = rp_positions[predicted_labels] - rp_positions[true_labels]
+    return np.sqrt((deltas ** 2).sum(axis=1))
+
+
+class Localizer(abc.ABC):
+    """Abstract indoor localization model (offline fit, online predict)."""
+
+    #: Human-readable model name used in reports and figures.
+    name: str = "localizer"
+
+    @abc.abstractmethod
+    def fit(self, dataset: FingerprintDataset) -> "Localizer":
+        """Train the model on the offline fingerprint database."""
+
+    @abc.abstractmethod
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict reference-point indices for normalised fingerprints."""
+
+    # ------------------------------------------------------------------
+    def predict_dataset(self, dataset: FingerprintDataset) -> np.ndarray:
+        """Predict labels for every fingerprint in ``dataset``."""
+        return self.predict(dataset.features)
+
+    def evaluate(self, dataset: FingerprintDataset) -> np.ndarray:
+        """Per-sample localization errors (meters) on ``dataset``."""
+        predictions = self.predict_dataset(dataset)
+        return localization_errors(predictions, dataset.labels, dataset.rp_positions)
+
+    def mean_error(self, dataset: FingerprintDataset) -> float:
+        """Mean localization error (meters) on ``dataset``."""
+        return float(self.evaluate(dataset).mean())
+
+    def worst_case_error(self, dataset: FingerprintDataset) -> float:
+        """Maximum (worst-case) localization error (meters) on ``dataset``."""
+        return float(self.evaluate(dataset).max())
+
+
+class DifferentiableLocalizer(Localizer):
+    """A localizer whose loss is differentiable w.r.t. its inputs.
+
+    These models satisfy the :class:`repro.attacks.base.GradientProvider`
+    protocol and can therefore be attacked directly in the white-box setting.
+    """
+
+    @abc.abstractmethod
+    def loss_gradient(self, features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Gradient of the training loss w.r.t. ``features`` (same shape)."""
+
+    def predict_proba(self, features: np.ndarray) -> Optional[np.ndarray]:
+        """Class probabilities, when the model can provide them."""
+        return None

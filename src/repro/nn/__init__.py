@@ -1,0 +1,81 @@
+"""``repro.nn`` — a from-scratch NumPy neural-network substrate.
+
+This package stands in for the deep-learning framework (PyTorch/Keras) that
+the CALLOC paper builds on.  It provides reverse-mode automatic
+differentiation (:class:`~repro.nn.tensor.Tensor`), layers, attention
+mechanisms, losses and optimizers — everything required by the CALLOC model,
+the baselines it is compared against, and the white-box adversarial attacks
+(which need gradients with respect to the model inputs).
+"""
+
+from .attention import MultiHeadAttention, ScaledDotProductAttention, attention_scores
+from .layers import (
+    Conv1d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GaussianNoise,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    MaxPool1d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from .losses import CrossEntropyLoss, Loss, MSELoss, one_hot
+from .optim import SGD, Adam, Optimizer
+from .serialization import load_module, load_state_dict, save_module, save_state_dict
+from .tensor import Tensor, is_grad_enabled, no_grad
+from .utils import (
+    count_parameters,
+    model_size_bytes,
+    model_size_kilobytes,
+    parameter_breakdown,
+    seed_everything,
+)
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Parameter",
+    "Module",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "Dropout",
+    "GaussianNoise",
+    "LayerNorm",
+    "Flatten",
+    "Sequential",
+    "Conv1d",
+    "MaxPool1d",
+    "Embedding",
+    "ScaledDotProductAttention",
+    "MultiHeadAttention",
+    "attention_scores",
+    "Loss",
+    "MSELoss",
+    "CrossEntropyLoss",
+    "one_hot",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "save_state_dict",
+    "load_state_dict",
+    "save_module",
+    "load_module",
+    "count_parameters",
+    "parameter_breakdown",
+    "model_size_bytes",
+    "model_size_kilobytes",
+    "seed_everything",
+]

@@ -1,0 +1,130 @@
+"""Attention mechanisms used by CALLOC and the ANVIL baseline.
+
+CALLOC's core model (Sec. IV.C) computes scaled dot-product attention between
+the curriculum hyperspace :math:`H^C_i` (query), the original-data hyperspace
+:math:`H^O` (key), and the reference-point locations (value):
+
+.. math::
+
+    \\mathrm{Attention}(Q, K, V) = \\mathrm{Softmax}\\!\\left(\\frac{Q K^T}{\\sqrt{d_k}}\\right) V
+
+ANVIL [17] instead uses a multi-head self-attention layer over the RSS
+embedding, which is provided here as :class:`MultiHeadAttention`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .layers import Linear, Module
+from .tensor import Tensor
+
+__all__ = ["ScaledDotProductAttention", "MultiHeadAttention", "attention_scores"]
+
+
+def attention_scores(
+    query: Tensor,
+    key: Tensor,
+    scale: Optional[float] = None,
+    bias: Optional[Tensor] = None,
+) -> Tensor:
+    """Return softmax-normalised attention weights between ``query`` and ``key``.
+
+    Parameters
+    ----------
+    query:
+        Tensor of shape ``(..., n_q, d_k)``.
+    key:
+        Tensor of shape ``(..., n_k, d_k)``.
+    scale:
+        Optional override of the ``1/sqrt(d_k)`` scaling factor.
+    bias:
+        Optional additive pre-softmax logits of shape ``(..., n_q, n_k)``
+        (e.g. a domain-specific similarity term mixed into the attention).
+    """
+    d_k = query.shape[-1]
+    if key.shape[-1] != d_k:
+        raise ValueError(
+            f"query and key feature dimensions differ: {d_k} vs {key.shape[-1]}"
+        )
+    scale = scale if scale is not None else 1.0 / float(np.sqrt(d_k))
+    logits = query.matmul(key.swapaxes(-1, -2)) * scale
+    if bias is not None:
+        logits = logits + bias
+    return logits.softmax(axis=-1)
+
+
+class ScaledDotProductAttention(Module):
+    """Scaled dot-product attention, ``softmax(Q K^T / sqrt(d_k)) V``.
+
+    The module is stateless (no trainable parameters); learnable projections
+    of Q/K/V are the responsibility of the caller, which in CALLOC are the two
+    hyperspace embedding networks and the reference-point value projection.
+    """
+
+    def __init__(self, scale: Optional[float] = None) -> None:
+        super().__init__()
+        self.scale = scale
+        self._last_weights: Optional[np.ndarray] = None
+
+    def forward(
+        self, query: Tensor, key: Tensor, value: Tensor, bias: Optional[Tensor] = None
+    ) -> Tensor:
+        weights = attention_scores(query, key, scale=self.scale, bias=bias)
+        self._last_weights = weights.data.copy()
+        return weights.matmul(value)
+
+    @property
+    def last_attention_weights(self) -> Optional[np.ndarray]:
+        """Attention weights from the most recent forward pass (for inspection)."""
+        return self._last_weights
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention as used by the ANVIL baseline [17].
+
+    Splits the model dimension into ``num_heads`` independent heads, applies
+    scaled dot-product attention per head, concatenates and projects back.
+    Inputs are expected with shape ``(batch, seq_len, model_dim)``.
+    """
+
+    def __init__(
+        self,
+        model_dim: int,
+        num_heads: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if model_dim % num_heads != 0:
+            raise ValueError(
+                f"model_dim ({model_dim}) must be divisible by num_heads ({num_heads})"
+            )
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.model_dim = model_dim
+        self.num_heads = num_heads
+        self.head_dim = model_dim // num_heads
+        self.query_proj = Linear(model_dim, model_dim, rng=rng)
+        self.key_proj = Linear(model_dim, model_dim, rng=rng)
+        self.value_proj = Linear(model_dim, model_dim, rng=rng)
+        self.output_proj = Linear(model_dim, model_dim, rng=rng)
+
+    def _split_heads(self, tensor: Tensor) -> Tensor:
+        batch, seq_len, _ = tensor.shape
+        reshaped = tensor.reshape(batch, seq_len, self.num_heads, self.head_dim)
+        return reshaped.transpose(0, 2, 1, 3)  # (batch, heads, seq, head_dim)
+
+    def _merge_heads(self, tensor: Tensor) -> Tensor:
+        batch, _, seq_len, _ = tensor.shape
+        return tensor.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.model_dim)
+
+    def forward(self, query: Tensor, key: Optional[Tensor] = None, value: Optional[Tensor] = None) -> Tensor:
+        key = key if key is not None else query
+        value = value if value is not None else query
+        q = self._split_heads(self.query_proj(query))
+        k = self._split_heads(self.key_proj(key))
+        v = self._split_heads(self.value_proj(value))
+        weights = attention_scores(q, k)
+        context = weights.matmul(v)
+        return self.output_proj(self._merge_heads(context))

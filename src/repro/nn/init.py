@@ -1,0 +1,41 @@
+"""Weight initialisation schemes for the ``repro.nn`` substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "he_uniform", "he_normal", "zeros", "uniform"]
+
+
+def xavier_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a ``(fan_in, fan_out)`` matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def xavier_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialisation for a ``(fan_in, fan_out)`` matrix."""
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def he_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialisation, suited to ReLU activations."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal initialisation, suited to ReLU activations."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """All-zero initialisation (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def uniform(low: float, high: float, shape, rng: np.random.Generator) -> np.ndarray:
+    """Plain uniform initialisation over ``[low, high)``."""
+    return rng.uniform(low, high, size=shape)

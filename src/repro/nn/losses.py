@@ -1,0 +1,89 @@
+"""Loss functions for the ``repro.nn`` substrate."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Loss", "MSELoss", "CrossEntropyLoss", "one_hot"]
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer class labels as one-hot rows.
+
+    Parameters
+    ----------
+    labels:
+        Integer array of shape ``(n,)`` with values in ``[0, num_classes)``.
+    num_classes:
+        Number of output classes (the number of reference points in the
+        localization setting).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels out of range for the requested number of classes")
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+class Loss:
+    """Common interface for loss functions."""
+
+    def __call__(self, predictions: Tensor, targets) -> Tensor:
+        return self.forward(predictions, targets)
+
+    def forward(self, predictions: Tensor, targets) -> Tensor:
+        raise NotImplementedError
+
+
+class MSELoss(Loss):
+    """Mean squared error, used by the hyperspace embedding networks (Sec. V.A)."""
+
+    def forward(self, predictions: Tensor, targets) -> Tensor:
+        targets_t = targets if isinstance(targets, Tensor) else Tensor(targets)
+        if predictions.shape != targets_t.shape:
+            raise ValueError(
+                f"prediction shape {predictions.shape} does not match target shape {targets_t.shape}"
+            )
+        diff = predictions - targets_t
+        return (diff * diff).mean()
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy over reference-point classes.
+
+    Accepts raw logits of shape ``(batch, num_classes)`` and integer labels of
+    shape ``(batch,)`` (or a one-hot matrix).  Label smoothing is supported as
+    it is a common stabiliser for fingerprint classification heads.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = label_smoothing
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D (batch, classes), got shape {logits.shape}")
+        num_classes = logits.shape[1]
+        targets_array = np.asarray(targets)
+        if targets_array.ndim == 1:
+            target_matrix = one_hot(targets_array, num_classes)
+        elif targets_array.shape == logits.shape:
+            target_matrix = targets_array.astype(np.float64)
+        else:
+            raise ValueError(
+                f"targets shape {targets_array.shape} incompatible with logits shape {logits.shape}"
+            )
+        if self.label_smoothing > 0.0:
+            smooth = self.label_smoothing
+            target_matrix = target_matrix * (1.0 - smooth) + smooth / num_classes
+        log_probs = logits.log_softmax(axis=-1)
+        negative_log_likelihood = -(log_probs * Tensor(target_matrix)).sum(axis=-1)
+        return negative_log_likelihood.mean()

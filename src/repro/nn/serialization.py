@@ -1,0 +1,44 @@
+"""Saving and loading model weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_state_dict", "load_state_dict", "save_module", "load_module"]
+
+PathLike = Union[str, Path]
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: PathLike) -> Path:
+    """Persist a state dict (qualified name -> array) to ``path`` as ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **state)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state_dict`."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    with np.load(path) as archive:
+        return {name: archive[name].copy() for name in archive.files}
+
+
+def save_module(module: Module, path: PathLike) -> Path:
+    """Persist the weights of ``module`` to ``path``."""
+    return save_state_dict(module.state_dict(), path)
+
+
+def load_module(module: Module, path: PathLike) -> Module:
+    """Load weights from ``path`` into ``module`` in place and return it."""
+    module.load_state_dict(load_state_dict(path))
+    return module

@@ -1,0 +1,57 @@
+"""Model introspection helpers: parameter counts, size estimates, seeding."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = [
+    "count_parameters",
+    "parameter_breakdown",
+    "model_size_bytes",
+    "model_size_kilobytes",
+    "seed_everything",
+]
+
+
+def count_parameters(module: Module) -> int:
+    """Total number of trainable scalar parameters in ``module``."""
+    return module.num_parameters()
+
+
+def parameter_breakdown(module: Module) -> Dict[str, int]:
+    """Parameter count per immediate sub-module (plus the module's own params).
+
+    This is used to reproduce the Sec. V.A budget of the paper: 42,496
+    parameters in the embedding layers, 18,961 in the attention layer and
+    3,782 in the final fully connected layer.
+    """
+    breakdown: Dict[str, int] = {}
+    own = sum(param.size for param in module._parameters.values())
+    if own:
+        breakdown["(own)"] = own
+    for name, child in module._modules.items():
+        breakdown[name] = child.num_parameters()
+    return breakdown
+
+
+def model_size_bytes(module: Module, bytes_per_parameter: int = 4) -> int:
+    """Deployment size assuming ``bytes_per_parameter`` (float32 by default)."""
+    return count_parameters(module) * bytes_per_parameter
+
+
+def model_size_kilobytes(module: Module, bytes_per_parameter: int = 4) -> float:
+    """Deployment size in kilobytes (1 kB = 1000 bytes, as in the paper)."""
+    return model_size_bytes(module, bytes_per_parameter) / 1000.0
+
+
+def seed_everything(seed: int, numpy_global: bool = True) -> np.random.Generator:
+    """Seed Python and NumPy RNGs and return a fresh :class:`numpy.random.Generator`."""
+    random.seed(seed)
+    if numpy_global:
+        np.random.seed(seed % (2 ** 32))
+    return np.random.default_rng(seed)

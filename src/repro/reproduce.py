@@ -1,0 +1,106 @@
+"""Command-line entry point to regenerate the paper's tables and figures.
+
+Examples
+--------
+Regenerate Fig. 6 on the quick profile and print the comparison table::
+
+    python -m repro --artefact fig6 --profile quick
+
+Regenerate every artefact and store the rendered text under ``results/``::
+
+    python -m repro --artefact all --output-dir results
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from .eval import (
+    EvaluationConfig,
+    ablation_adaptive,
+    fig1_attack_impact,
+    fig4_heatmaps,
+    fig5_curriculum,
+    fig6_sota,
+    fig7_phi_sweep,
+    table1_devices,
+    table2_buildings,
+    table3_model_budget,
+)
+
+__all__ = ["main", "ARTEFACTS"]
+
+#: Artefact name -> callable(config) -> result dict with a "text" rendering.
+ARTEFACTS: Dict[str, Callable] = {
+    "table1": lambda config: table1_devices(),
+    "table2": lambda config: table2_buildings(rp_granularity_m=config.rp_granularity_m),
+    "table3": lambda config: table3_model_budget(),
+    "fig1": fig1_attack_impact,
+    "fig4": fig4_heatmaps,
+    "fig5": fig5_curriculum,
+    "fig6": fig6_sota,
+    "fig7": fig7_phi_sweep,
+    "ablation": ablation_adaptive,
+}
+
+_PROFILES = {
+    "quick": EvaluationConfig.quick,
+    "standard": EvaluationConfig.standard,
+    "full": EvaluationConfig.full,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the reproduction CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the CALLOC paper's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "--artefact",
+        choices=sorted(ARTEFACTS) + ["all"],
+        default="all",
+        help="which table/figure to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(_PROFILES),
+        default="quick",
+        help="evaluation grid size (quick: minutes, full: the paper's grid)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="optional directory to write each artefact's text rendering to",
+    )
+    return parser
+
+
+def run_artefact(name: str, config: EvaluationConfig, output_dir: Optional[Path]) -> str:
+    """Run one artefact and optionally persist its rendering."""
+    result = ARTEFACTS[name](config)
+    text = result["text"]
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+        (output_dir / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    config = _PROFILES[args.profile]()
+    names = sorted(ARTEFACTS) if args.artefact == "all" else [args.artefact]
+    for name in names:
+        print(f"=== {name} ({args.profile} profile) ===")
+        print(run_artefact(name, config, args.output_dir))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

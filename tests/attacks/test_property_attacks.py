@@ -1,0 +1,81 @@
+"""Property-based tests for attack invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.attacks import FGSMAttack, MIMAttack, PGDAttack, ThreatModel
+
+
+class RandomGradientVictim:
+    """Victim returning a deterministic pseudo-random gradient field."""
+
+    def loss_gradient(self, features, labels):
+        rng = np.random.default_rng(abs(int(np.asarray(features).sum() * 1000)) % (2**31))
+        return rng.normal(size=np.asarray(features).shape)
+
+
+unit_features = arrays(
+    dtype=np.float64,
+    shape=(4, 12),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+epsilons = st.floats(min_value=0.01, max_value=0.5, allow_nan=False)
+phis = st.floats(min_value=1.0, max_value=100.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@settings(max_examples=25, deadline=None)
+@given(unit_features, epsilons, phis, seeds)
+def test_fgsm_linf_bound_and_box(features, epsilon, phi, seed):
+    threat = ThreatModel(epsilon=epsilon, phi_percent=phi, seed=seed)
+    adversarial = FGSMAttack(threat).perturb(
+        features, np.zeros(4, dtype=int), RandomGradientVictim()
+    )
+    assert np.abs(adversarial - features).max() <= epsilon + 1e-9
+    assert adversarial.min() >= 0.0 and adversarial.max() <= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(unit_features, epsilons, phis, seeds)
+def test_pgd_linf_bound_and_box(features, epsilon, phi, seed):
+    threat = ThreatModel(epsilon=epsilon, phi_percent=phi, seed=seed)
+    adversarial = PGDAttack(threat, num_steps=4).perturb(
+        features, np.zeros(4, dtype=int), RandomGradientVictim()
+    )
+    assert np.abs(adversarial - features).max() <= epsilon + 1e-9
+    assert adversarial.min() >= 0.0 and adversarial.max() <= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(unit_features, epsilons, phis, seeds)
+def test_mim_linf_bound_and_box(features, epsilon, phi, seed):
+    threat = ThreatModel(epsilon=epsilon, phi_percent=phi, seed=seed)
+    adversarial = MIMAttack(threat, num_steps=4).perturb(
+        features, np.zeros(4, dtype=int), RandomGradientVictim()
+    )
+    assert np.abs(adversarial - features).max() <= epsilon + 1e-9
+    assert adversarial.min() >= 0.0 and adversarial.max() <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(unit_features, epsilons, phis, seeds)
+def test_untargeted_aps_are_never_touched(features, epsilon, phi, seed):
+    threat = ThreatModel(epsilon=epsilon, phi_percent=phi, seed=seed)
+    mask = threat.target_mask(features.shape[1])
+    adversarial = FGSMAttack(threat).perturb(
+        features, np.zeros(4, dtype=int), RandomGradientVictim()
+    )
+    np.testing.assert_allclose(adversarial[:, ~mask], features[:, ~mask])
+
+
+@settings(max_examples=25, deadline=None)
+@given(unit_features, phis, seeds)
+def test_phi_controls_number_of_targeted_aps(features, phi, seed):
+    threat = ThreatModel(epsilon=0.1, phi_percent=phi, seed=seed)
+    mask = threat.target_mask(features.shape[1])
+    expected = max(1, int(round(features.shape[1] * phi / 100.0)))
+    assert mask.sum() == min(expected, features.shape[1])

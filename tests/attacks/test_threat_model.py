@@ -1,0 +1,72 @@
+"""Unit tests for the threat model and targeted-AP selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import ThreatModel, no_attack, select_target_aps
+
+
+class TestThreatModel:
+    def test_defaults(self):
+        threat = ThreatModel()
+        assert threat.epsilon == pytest.approx(0.1)
+        assert threat.phi_percent == pytest.approx(10.0)
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            ThreatModel(epsilon=-0.1)
+
+    def test_rejects_phi_out_of_range(self):
+        with pytest.raises(ValueError):
+            ThreatModel(phi_percent=150.0)
+
+    def test_rejects_inverted_feature_range(self):
+        with pytest.raises(ValueError):
+            ThreatModel(feature_low=1.0, feature_high=0.0)
+
+    def test_no_attack_is_null(self):
+        assert no_attack().is_null
+
+    def test_zero_epsilon_is_null(self):
+        assert ThreatModel(epsilon=0.0, phi_percent=50.0).is_null
+
+    def test_target_mask_is_reproducible(self):
+        threat = ThreatModel(phi_percent=30.0, seed=5)
+        np.testing.assert_array_equal(threat.target_mask(50), threat.target_mask(50))
+
+    def test_target_mask_size(self):
+        mask = ThreatModel(phi_percent=20.0).target_mask(50)
+        assert mask.sum() == 10
+
+
+class TestSelectTargetAps:
+    def test_zero_phi_selects_nothing(self):
+        mask = select_target_aps(100, 0.0, np.random.default_rng(0))
+        assert mask.sum() == 0
+
+    def test_full_phi_selects_everything(self):
+        mask = select_target_aps(40, 100.0, np.random.default_rng(0))
+        assert mask.sum() == 40
+
+    def test_small_phi_selects_at_least_one(self):
+        mask = select_target_aps(100, 0.5, np.random.default_rng(0))
+        assert mask.sum() == 1
+
+    def test_selection_fraction_close_to_phi(self):
+        mask = select_target_aps(200, 25.0, np.random.default_rng(0))
+        assert mask.sum() == 50
+
+    def test_rejects_invalid_phi(self):
+        with pytest.raises(ValueError):
+            select_target_aps(10, -5.0, np.random.default_rng(0))
+
+    def test_empty_ap_set(self):
+        mask = select_target_aps(0, 50.0, np.random.default_rng(0))
+        assert mask.shape == (0,)
+
+    def test_different_seeds_select_different_aps(self):
+        a = select_target_aps(100, 30.0, np.random.default_rng(1))
+        b = select_target_aps(100, 30.0, np.random.default_rng(2))
+        assert not np.array_equal(a, b)

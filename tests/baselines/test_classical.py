@@ -1,0 +1,129 @@
+"""Unit tests for the classical baselines: KNN, Naive Bayes, GPC."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GaussianProcessLocalizer,
+    KNNLocalizer,
+    NaiveBayesLocalizer,
+)
+from repro.interfaces import localization_errors
+
+
+class TestLocalizationErrors:
+    def test_zero_when_predictions_match(self):
+        positions = np.array([[0.0, 0.0], [3.0, 4.0]])
+        errors = localization_errors(np.array([0, 1]), np.array([0, 1]), positions)
+        np.testing.assert_allclose(errors, 0.0)
+
+    def test_euclidean_distance(self):
+        positions = np.array([[0.0, 0.0], [3.0, 4.0]])
+        errors = localization_errors(np.array([1]), np.array([0]), positions)
+        np.testing.assert_allclose(errors, [5.0])
+
+
+class TestKNN:
+    def test_perfect_on_training_data(self, tiny_campaign):
+        knn = KNNLocalizer(k=1).fit(tiny_campaign.train)
+        predictions = knn.predict(tiny_campaign.train.features)
+        assert (predictions == tiny_campaign.train.labels).mean() == 1.0
+
+    def test_reasonable_cross_device_error(self, trained_knn, tiny_campaign):
+        assert trained_knn.mean_error(tiny_campaign.test_all_devices()) < 6.0
+
+    def test_k_larger_than_dataset_is_clamped(self, tiny_campaign):
+        knn = KNNLocalizer(k=10_000).fit(tiny_campaign.train)
+        assert knn.predict(tiny_campaign.test_for("S7").features).shape[0] > 0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KNNLocalizer(k=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KNNLocalizer().predict(np.zeros((1, 4)))
+
+    def test_predict_proba_rows_sum_to_one(self, trained_knn, tiny_campaign):
+        proba = trained_knn.predict_proba(tiny_campaign.test_for("S7").features)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_worst_case_error_at_least_mean(self, trained_knn, tiny_campaign):
+        test = tiny_campaign.test_all_devices()
+        assert trained_knn.worst_case_error(test) >= trained_knn.mean_error(test)
+
+
+class TestNaiveBayes:
+    def test_fits_and_predicts(self, tiny_campaign):
+        model = NaiveBayesLocalizer().fit(tiny_campaign.train)
+        predictions = model.predict_dataset(tiny_campaign.test_for("OP3"))
+        assert predictions.shape == (tiny_campaign.num_classes,)
+
+    def test_training_accuracy_is_reasonable(self, tiny_campaign):
+        model = NaiveBayesLocalizer().fit(tiny_campaign.train)
+        accuracy = (model.predict(tiny_campaign.train.features) == tiny_campaign.train.labels).mean()
+        assert accuracy > 0.6
+
+    def test_predict_proba_is_distribution(self, tiny_campaign):
+        model = NaiveBayesLocalizer().fit(tiny_campaign.train)
+        proba = model.predict_proba(tiny_campaign.test_for("S7").features)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_invalid_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveBayesLocalizer(var_smoothing=0.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            NaiveBayesLocalizer().predict(np.zeros((1, 3)))
+
+
+class TestGPC:
+    def test_fits_and_achieves_low_training_error(self, tiny_campaign):
+        model = GaussianProcessLocalizer().fit(tiny_campaign.train)
+        predictions = model.predict(tiny_campaign.train.features)
+        assert (predictions == tiny_campaign.train.labels).mean() > 0.9
+
+    def test_cross_device_error_is_finite_and_reasonable(self, tiny_campaign):
+        model = GaussianProcessLocalizer().fit(tiny_campaign.train)
+        assert model.mean_error(tiny_campaign.test_all_devices()) < 8.0
+
+    def test_decision_function_shape(self, tiny_campaign):
+        model = GaussianProcessLocalizer().fit(tiny_campaign.train)
+        scores = model.decision_function(tiny_campaign.test_for("S7").features)
+        assert scores.shape == (tiny_campaign.num_classes, tiny_campaign.num_classes)
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcessLocalizer(length_scale=0.0)
+        with pytest.raises(ValueError):
+            GaussianProcessLocalizer(noise=-1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessLocalizer().predict(np.zeros((1, 3)))
+
+    def test_predict_proba_is_distribution(self, tiny_campaign):
+        model = GaussianProcessLocalizer().fit(tiny_campaign.train)
+        proba = model.predict_proba(tiny_campaign.test_for("MOTO").features)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestGPCGradients:
+    def test_loss_gradient_shape_and_direction(self, tiny_campaign):
+        model = GaussianProcessLocalizer().fit(tiny_campaign.train)
+        test = tiny_campaign.test_for("OP3")
+        gradient = model.loss_gradient(test.features, test.labels)
+        assert gradient.shape == test.features.shape
+        assert np.isfinite(gradient).all()
+        # Moving along the gradient (FGSM direction) should not decrease the error.
+        perturbed = np.clip(test.features + 0.2 * np.sign(gradient), 0.0, 1.0)
+        baseline_error = model.mean_error(test)
+        attacked_error = model.mean_error(test.with_rss(perturbed * 100.0 - 100.0))
+        assert attacked_error >= baseline_error
+
+    def test_gradient_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessLocalizer().loss_gradient(np.zeros((1, 3)), np.zeros(1, dtype=int))

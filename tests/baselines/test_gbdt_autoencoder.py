@@ -1,0 +1,123 @@
+"""Unit tests for the gradient-boosting and autoencoder substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DecisionTreeRegressor,
+    DenoisingAutoencoder,
+    GradientBoostedClassifier,
+    StackedAutoencoder,
+)
+from repro.nn import Tensor
+
+
+class TestDecisionTree:
+    def test_fits_piecewise_constant_function(self, rng):
+        features = rng.uniform(0, 1, size=(200, 1))
+        targets = (features[:, 0] > 0.5).astype(float)
+        tree = DecisionTreeRegressor(max_depth=2).fit(features, targets)
+        predictions = tree.predict(features)
+        assert np.abs(predictions - targets).mean() < 0.1
+
+    def test_respects_max_depth_one_split(self, rng):
+        features = rng.uniform(0, 1, size=(100, 2))
+        targets = features[:, 0] + features[:, 1]
+        tree = DecisionTreeRegressor(max_depth=1).fit(features, targets)
+        assert len(np.unique(tree.predict(features))) <= 2
+
+    def test_constant_targets_give_single_leaf(self, rng):
+        features = rng.uniform(0, 1, size=(50, 3))
+        tree = DecisionTreeRegressor().fit(features, np.full(50, 2.5))
+        np.testing.assert_allclose(tree.predict(features), 2.5)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_rejects_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_rejects_mismatched_shapes(self, rng):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(rng.random((10, 2)), rng.random(5))
+
+    def test_max_features_subsampling_still_fits(self, rng):
+        features = rng.uniform(0, 1, size=(100, 8))
+        targets = features[:, 3]
+        tree = DecisionTreeRegressor(max_depth=3, max_features=4, seed=0).fit(features, targets)
+        assert np.var(tree.predict(features)) > 0
+
+
+class TestGradientBoosting:
+    def test_separable_classification(self, rng):
+        features = rng.normal(size=(150, 4))
+        labels = (features[:, 0] > 0).astype(int) + 2 * (features[:, 1] > 0).astype(int)
+        model = GradientBoostedClassifier(num_rounds=10, max_depth=2, seed=0).fit(features, labels)
+        accuracy = (model.predict(features) == labels).mean()
+        assert accuracy > 0.85
+
+    def test_predict_proba_is_distribution(self, rng):
+        features = rng.normal(size=(60, 3))
+        labels = (features[:, 0] > 0).astype(int)
+        model = GradientBoostedClassifier(num_rounds=5, seed=0).fit(features, labels)
+        proba = model.predict_proba(features)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert (proba >= 0).all()
+
+    def test_rejects_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            GradientBoostedClassifier(num_rounds=0)
+        with pytest.raises(ValueError):
+            GradientBoostedClassifier(learning_rate=0.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedClassifier().predict(np.zeros((1, 3)))
+
+    def test_more_rounds_do_not_hurt_training_accuracy(self, rng):
+        features = rng.normal(size=(100, 4))
+        labels = (features[:, 0] + features[:, 1] > 0).astype(int)
+        small = GradientBoostedClassifier(num_rounds=2, seed=0).fit(features, labels)
+        large = GradientBoostedClassifier(num_rounds=12, seed=0).fit(features, labels)
+        assert (large.predict(features) == labels).mean() >= (
+            small.predict(features) == labels
+        ).mean()
+
+
+class TestAutoencoders:
+    def test_reconstruction_loss_decreases(self, rng):
+        data = rng.uniform(0, 1, size=(80, 16))
+        autoencoder = StackedAutoencoder(16, hidden_dims=(8,), rng=rng)
+        history = autoencoder.pretrain(data, epochs=25, seed=0)
+        assert history[-1] < history[0]
+
+    def test_transform_shape_is_latent_dim(self, rng):
+        data = rng.uniform(0, 1, size=(30, 12))
+        autoencoder = StackedAutoencoder(12, hidden_dims=(10, 6), rng=rng)
+        assert autoencoder.latent_dim == 6
+        assert autoencoder.transform(data).shape == (30, 6)
+
+    def test_forward_output_in_unit_range(self, rng):
+        autoencoder = StackedAutoencoder(8, hidden_dims=(4,), rng=rng)
+        out = autoencoder(Tensor(rng.uniform(0, 1, size=(5, 8)))).data
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_requires_at_least_one_hidden_layer(self):
+        with pytest.raises(ValueError):
+            StackedAutoencoder(8, hidden_dims=())
+
+    def test_denoising_autoencoder_trains_with_corruption(self, rng):
+        data = rng.uniform(0, 1, size=(60, 10))
+        dae = DenoisingAutoencoder(10, hidden_dims=(6,), corruption_std=0.2, rng=rng)
+        history = dae.pretrain(data, epochs=20, seed=0)
+        assert history[-1] < history[0]
+
+    def test_denoising_autoencoder_rejects_negative_corruption(self):
+        with pytest.raises(ValueError):
+            DenoisingAutoencoder(8, corruption_std=-0.1)

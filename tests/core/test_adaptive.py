@@ -1,0 +1,119 @@
+"""Unit tests for the adaptive curriculum controller (Sec. IV.D)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveConfig, AdaptiveCurriculumController, Lesson, LessonAction
+
+
+@pytest.fixture()
+def lesson() -> Lesson:
+    return Lesson(index=4, phi_percent=40.0, epsilon=0.1, original_fraction=0.6)
+
+
+def weights(value: float) -> dict:
+    return {"w": np.full(3, value)}
+
+
+class TestObservation:
+    def test_decreasing_loss_continues(self, lesson):
+        controller = AdaptiveCurriculumController()
+        controller.start_lesson(lesson)
+        actions = [
+            controller.observe(lesson, epoch, loss, weights(loss))
+            for epoch, loss in enumerate([1.0, 0.9, 0.8])
+        ]
+        assert actions == [LessonAction.CONTINUE] * 3
+
+    def test_divergence_triggers_backoff_after_patience(self, lesson):
+        controller = AdaptiveCurriculumController(AdaptiveConfig(patience=2))
+        controller.start_lesson(lesson)
+        controller.observe(lesson, 0, 1.0, weights(1.0))
+        assert controller.observe(lesson, 1, 1.2, weights(1.2)) is LessonAction.CONTINUE
+        assert controller.observe(lesson, 2, 1.3, weights(1.3)) is LessonAction.BACKOFF
+
+    def test_best_weights_snapshot_is_kept(self, lesson):
+        controller = AdaptiveCurriculumController()
+        controller.start_lesson(lesson)
+        controller.observe(lesson, 0, 0.9, weights(0.9))
+        controller.observe(lesson, 1, 1.5, weights(1.5))
+        np.testing.assert_allclose(controller.best_weights["w"], np.full(3, 0.9))
+        assert controller.best_loss == pytest.approx(0.9)
+
+    def test_best_weights_are_copies(self, lesson):
+        controller = AdaptiveCurriculumController()
+        controller.start_lesson(lesson)
+        snapshot = weights(0.5)
+        controller.observe(lesson, 0, 0.5, snapshot)
+        snapshot["w"][:] = 99.0
+        np.testing.assert_allclose(controller.best_weights["w"], np.full(3, 0.5))
+
+    def test_small_fluctuations_within_tolerance_do_not_count(self, lesson):
+        controller = AdaptiveCurriculumController(
+            AdaptiveConfig(patience=1, divergence_tolerance=0.5)
+        )
+        controller.start_lesson(lesson)
+        controller.observe(lesson, 0, 1.0, weights(1.0))
+        # 20% worse but within the 50% tolerance -> keep training.
+        assert controller.observe(lesson, 1, 1.2, weights(1.2)) is LessonAction.CONTINUE
+
+    def test_force_advance_after_max_backoffs(self, lesson):
+        config = AdaptiveConfig(patience=1, max_backoffs_per_lesson=1)
+        controller = AdaptiveCurriculumController(config)
+        controller.start_lesson(lesson)
+        controller.observe(lesson, 0, 1.0, weights(1.0))
+        assert controller.observe(lesson, 1, 2.0, weights(2.0)) is LessonAction.BACKOFF
+        controller.observe(lesson, 2, 0.5, weights(0.5))
+        assert controller.observe(lesson, 3, 3.0, weights(3.0)) is LessonAction.ADVANCE
+
+    def test_recovery_resets_increase_counter(self, lesson):
+        controller = AdaptiveCurriculumController(AdaptiveConfig(patience=2))
+        controller.start_lesson(lesson)
+        controller.observe(lesson, 0, 1.0, weights(1.0))
+        controller.observe(lesson, 1, 1.5, weights(1.5))   # one increase
+        controller.observe(lesson, 2, 0.8, weights(0.8))   # recovery
+        assert controller.observe(lesson, 3, 0.85, weights(0.85)) is LessonAction.CONTINUE
+
+
+class TestBackoffAdjustment:
+    def test_phi_reduced_by_two_percentage_points(self, lesson):
+        controller = AdaptiveCurriculumController()
+        adjusted = controller.adjusted_lesson(lesson)
+        assert adjusted.phi_percent == pytest.approx(38.0)
+
+    def test_phi_never_goes_negative(self):
+        controller = AdaptiveCurriculumController()
+        lesson = Lesson(index=2, phi_percent=1.0, epsilon=0.1, original_fraction=0.8)
+        assert controller.adjusted_lesson(lesson).phi_percent == 0.0
+
+    def test_custom_backoff_step(self, lesson):
+        controller = AdaptiveCurriculumController(AdaptiveConfig(phi_backoff_step=10.0))
+        assert controller.adjusted_lesson(lesson).phi_percent == pytest.approx(30.0)
+
+
+class TestHistory:
+    def test_history_records_every_observation(self, lesson):
+        controller = AdaptiveCurriculumController()
+        controller.start_lesson(lesson)
+        for epoch, loss in enumerate([1.0, 0.9, 0.95]):
+            controller.observe(lesson, epoch, loss, weights(loss))
+        assert len(controller.history) == 3
+        assert controller.loss_curve() == [1.0, 0.9, 0.95]
+
+    def test_history_tracks_lesson_and_phi(self, lesson):
+        controller = AdaptiveCurriculumController()
+        controller.start_lesson(lesson)
+        controller.observe(lesson, 0, 1.0, weights(1.0))
+        entry = controller.history[0]
+        assert entry["lesson"] == 4.0
+        assert entry["phi"] == 40.0
+
+    def test_start_lesson_resets_state(self, lesson):
+        controller = AdaptiveCurriculumController()
+        controller.start_lesson(lesson)
+        controller.observe(lesson, 0, 0.4, weights(0.4))
+        controller.start_lesson(lesson)
+        assert controller.best_weights is None
+        assert controller.backoffs_in_lesson == 0

@@ -1,0 +1,132 @@
+"""Unit tests for curriculum construction and lesson materialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Curriculum, Lesson, LessonBuilder
+
+
+class ConstantGradientModel:
+    """Gradient provider with a fixed positive gradient (for lesson crafting)."""
+
+    def loss_gradient(self, features, labels):
+        return np.ones_like(features)
+
+
+class TestLesson:
+    def test_describe_mentions_phi_and_epsilon(self):
+        lesson = Lesson(index=2, phi_percent=10.0, epsilon=0.1, original_fraction=0.8)
+        text = lesson.describe()
+        assert "phi=10%" in text and "eps=0.1" in text
+
+    def test_with_phi_clips_to_valid_range(self):
+        lesson = Lesson(index=3, phi_percent=5.0, epsilon=0.1, original_fraction=0.5)
+        assert lesson.with_phi(-3.0).phi_percent == 0.0
+        assert lesson.with_phi(150.0).phi_percent == 100.0
+
+    def test_baseline_detection(self):
+        assert Lesson(1, 0.0, 0.1, 1.0).is_baseline
+        assert not Lesson(2, 10.0, 0.1, 0.8).is_baseline
+
+
+class TestCurriculum:
+    def test_default_has_ten_lessons(self):
+        assert len(Curriculum()) == 10
+
+    def test_first_lesson_is_clean_baseline(self):
+        first = Curriculum()[0]
+        assert first.phi_percent == 0.0
+        assert first.original_fraction == 1.0
+
+    def test_second_lesson_matches_paper(self):
+        # "the second lesson contains ø = 10 (10% attacked APs) with ϵ = 0.1"
+        second = Curriculum()[1]
+        assert second.phi_percent == pytest.approx(10.0)
+        assert second.epsilon == pytest.approx(0.1)
+
+    def test_last_lesson_reaches_full_phi(self):
+        # "culminates in the toughest scenario at lesson 10, with ø = 100"
+        assert Curriculum()[-1].phi_percent == pytest.approx(100.0)
+
+    def test_phi_is_monotonically_increasing(self):
+        phis = [lesson.phi_percent for lesson in Curriculum()]
+        assert phis == sorted(phis)
+
+    def test_original_fraction_is_non_increasing(self):
+        fractions = [lesson.original_fraction for lesson in Curriculum()]
+        assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+
+    def test_epsilon_is_fixed_across_lessons(self):
+        epsilons = {lesson.epsilon for lesson in Curriculum(epsilon=0.1)}
+        assert epsilons == {0.1}
+
+    def test_custom_lesson_count(self):
+        assert len(Curriculum(num_lessons=5)) == 5
+
+    def test_rejects_too_few_lessons(self):
+        with pytest.raises(ValueError):
+            Curriculum(num_lessons=1)
+
+    def test_rejects_invalid_phi_range(self):
+        with pytest.raises(ValueError):
+            Curriculum(start_phi=0.0)
+        with pytest.raises(ValueError):
+            Curriculum(start_phi=50.0, max_phi=20.0)
+
+    def test_describe_lists_every_lesson(self):
+        assert len(Curriculum().describe().splitlines()) == 10
+
+    def test_iteration_and_indexing_agree(self):
+        curriculum = Curriculum()
+        assert list(curriculum)[3].index == curriculum[3].index
+
+
+class TestLessonBuilder:
+    @pytest.fixture()
+    def clean_data(self, rng):
+        return rng.uniform(0.2, 0.8, size=(20, 10)), rng.integers(0, 4, size=20)
+
+    def test_baseline_lesson_returns_clean_copy(self, clean_data):
+        features, labels = clean_data
+        lesson = Lesson(1, 0.0, 0.1, 1.0)
+        built_features, built_labels = LessonBuilder().build(
+            lesson, features, labels, ConstantGradientModel()
+        )
+        np.testing.assert_allclose(built_features, features)
+        np.testing.assert_array_equal(built_labels, labels)
+        assert built_features is not features
+
+    def test_adversarial_lesson_perturbs_a_fraction(self, clean_data):
+        features, labels = clean_data
+        lesson = Lesson(5, 50.0, 0.1, 0.5)
+        built_features, _ = LessonBuilder(seed=1).build(
+            lesson, features, labels, ConstantGradientModel()
+        )
+        changed_rows = (np.abs(built_features - features) > 1e-12).any(axis=1)
+        assert 0 < changed_rows.sum() <= 11  # about half the rows
+
+    def test_perturbation_respects_lesson_epsilon(self, clean_data):
+        features, labels = clean_data
+        lesson = Lesson(5, 100.0, 0.1, 0.0)
+        built_features, _ = LessonBuilder(seed=1).build(
+            lesson, features, labels, ConstantGradientModel()
+        )
+        assert np.abs(built_features - features).max() <= 0.1 + 1e-9
+
+    def test_successive_realisations_differ(self, clean_data):
+        features, labels = clean_data
+        lesson = Lesson(4, 40.0, 0.1, 0.5)
+        builder = LessonBuilder(seed=2)
+        first, _ = builder.build(lesson, features, labels, ConstantGradientModel())
+        second, _ = builder.build(lesson, features, labels, ConstantGradientModel())
+        assert not np.allclose(first, second)
+
+    def test_labels_are_never_modified(self, clean_data):
+        features, labels = clean_data
+        lesson = Lesson(9, 90.0, 0.1, 0.2)
+        _, built_labels = LessonBuilder(seed=3).build(
+            lesson, features, labels, ConstantGradientModel()
+        )
+        np.testing.assert_array_equal(built_labels, labels)

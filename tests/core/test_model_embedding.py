@@ -1,0 +1,156 @@
+"""Unit tests for the CALLOC model and its hyperspace embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CALLOCModel, CurriculumEmbedding, OriginalEmbedding
+from repro.nn import CrossEntropyLoss, Tensor
+
+
+@pytest.fixture()
+def small_model(rng) -> CALLOCModel:
+    num_aps, num_classes = 12, 5
+    reference = rng.random((num_classes, num_aps))
+    positions = np.column_stack([np.arange(num_classes, dtype=float), np.zeros(num_classes)])
+    return CALLOCModel(
+        num_aps=num_aps,
+        num_classes=num_classes,
+        reference_features=reference,
+        reference_positions=positions,
+        embed_dim=16,
+        attention_dim=8,
+        rng=rng,
+    )
+
+
+class TestEmbeddings:
+    def test_curriculum_embedding_shape(self, rng):
+        embedding = CurriculumEmbedding(num_aps=10, embed_dim=6, rng=rng)
+        out = embedding(Tensor(rng.random((4, 10))))
+        assert out.shape == (4, 6)
+
+    def test_reconstruction_loss_is_scalar_and_differentiable(self, rng):
+        embedding = CurriculumEmbedding(num_aps=10, embed_dim=6, rng=rng)
+        loss = embedding.reconstruction_loss(Tensor(rng.random((4, 10))))
+        assert loss.size == 1
+        loss.backward()
+        assert embedding.projection.weight.grad is not None
+
+    def test_original_embedding_augmentation_only_in_training(self, rng):
+        embedding = OriginalEmbedding(num_aps=10, embed_dim=6, rng=rng)
+        data = Tensor(rng.random((4, 10)))
+        embedding.eval()
+        np.testing.assert_allclose(embedding(data).data, embedding(data).data)
+        embedding.train()
+        assert not np.allclose(embedding(data).data, embedding(data).data)
+
+    def test_paper_augmentation_defaults(self):
+        embedding = OriginalEmbedding(num_aps=4)
+        assert embedding.dropout.rate == pytest.approx(0.2)
+        assert embedding.noise.std == pytest.approx(0.32)
+
+
+class TestModelConstruction:
+    def test_forward_shape(self, small_model, rng):
+        small_model.eval()
+        logits = small_model(Tensor(rng.random((7, 12))))
+        assert logits.shape == (7, 5)
+
+    def test_rejects_bad_reference_shapes(self, rng):
+        with pytest.raises(ValueError):
+            CALLOCModel(10, 3, rng.random((3, 9)), rng.random((3, 2)))
+        with pytest.raises(ValueError):
+            CALLOCModel(10, 3, rng.random((3, 10)), rng.random((2, 2)))
+
+    def test_requires_labels_for_non_per_rp_database(self, rng):
+        with pytest.raises(ValueError):
+            CALLOCModel(10, 3, rng.random((6, 10)), rng.random((6, 2)))
+
+    def test_accepts_full_database_with_labels(self, rng):
+        model = CALLOCModel(
+            10,
+            3,
+            rng.random((6, 10)),
+            rng.random((6, 2)),
+            reference_labels=np.array([0, 0, 1, 1, 2, 2]),
+            embed_dim=8,
+            attention_dim=4,
+        )
+        model.eval()
+        assert model(Tensor(rng.random((2, 10)))).shape == (2, 3)
+
+    def test_update_reference(self, small_model, rng):
+        new_reference = rng.random((5, 12))
+        new_positions = rng.random((5, 2)) * 10
+        small_model.update_reference(new_reference, new_positions)
+        np.testing.assert_allclose(small_model.reference_features, new_reference)
+
+    def test_update_reference_rejects_mismatch(self, small_model, rng):
+        with pytest.raises(ValueError):
+            small_model.update_reference(rng.random((5, 3)), rng.random((5, 2)))
+
+    def test_parameter_report_sums_to_total(self, small_model):
+        report = small_model.parameter_report()
+        components = (
+            report["embedding_layers"]
+            + report["embedding_decoders"]
+            + report["attention_layer"]
+            + report["fully_connected"]
+        )
+        assert components == report["total"]
+
+    def test_embedding_layer_budget_matches_paper_formula(self):
+        """With 165 APs and 128-d hyperspaces the embedding budget is 42,496."""
+        rng = np.random.default_rng(0)
+        model = CALLOCModel(
+            165, 61, rng.random((61, 165)), rng.random((61, 2)), rng=rng
+        )
+        assert model.parameter_report()["embedding_layers"] == 42496
+
+
+class TestModelBehaviour:
+    def test_attention_weights_shape(self, small_model, rng):
+        small_model.eval()
+        weights = small_model.attention_weights(Tensor(rng.random((3, 12))))
+        assert weights.shape == (3, 5)
+        np.testing.assert_allclose(weights.sum(axis=1), np.ones(3), atol=1e-9)
+
+    def test_clean_reference_query_prefers_its_own_entry(self, small_model):
+        """A query identical to a database fingerprint should attend to it most."""
+        small_model.eval()
+        query = Tensor(small_model.reference_features[2:3])
+        weights = small_model.attention_weights(query)
+        assert weights[0].argmax() == 2
+
+    def test_kernel_votes_bounded_per_ap(self, small_model, rng):
+        small_model.eval()
+        votes = small_model.kernel_votes(Tensor(rng.random((3, 12)))).data
+        # Each AP contributes at most softplus(0) = log(2) per entry, so the
+        # total vote is bounded by num_aps * log(2) / sqrt(num_aps).
+        bound = 12 * np.log(2.0) / np.sqrt(12)
+        assert votes.max() <= bound + 1e-9
+        assert votes.min() >= 0.0
+
+    def test_input_gradient_available_for_attacks(self, small_model, rng):
+        small_model.eval()
+        inputs = Tensor(rng.random((4, 12)), requires_grad=True)
+        loss = CrossEntropyLoss()(small_model(inputs), np.array([0, 1, 2, 3]))
+        loss.backward()
+        assert inputs.grad.shape == (4, 12)
+
+    def test_embedding_reconstruction_loss_positive(self, small_model, rng):
+        small_model.train()
+        loss = small_model.embedding_reconstruction_loss(Tensor(rng.random((4, 12))))
+        assert loss.item() > 0
+
+    def test_eval_mode_is_deterministic(self, small_model, rng):
+        small_model.eval()
+        data = Tensor(rng.random((3, 12)))
+        np.testing.assert_allclose(small_model(data).data, small_model(data).data)
+
+    def test_train_mode_is_stochastic_due_to_augmentation(self, small_model, rng):
+        small_model.train()
+        data = Tensor(rng.random((3, 12)))
+        assert not np.allclose(small_model(data).data, small_model(data).data)

@@ -1,0 +1,188 @@
+"""Unit and integration tests for the CALLOC trainer and public localizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSMAttack, ThreatModel, attack_dataset
+from repro.core import CALLOC, CALLOCModel, CALLOCTrainer, Curriculum, TrainerConfig
+from repro.nn import save_module, load_module
+
+
+@pytest.fixture()
+def tiny_training_set(tiny_campaign):
+    return tiny_campaign.train.features, tiny_campaign.train.labels
+
+
+def build_model(tiny_campaign, rng_seed=0):
+    train = tiny_campaign.train
+    num_classes = train.num_classes
+    reference = np.array(
+        [train.features[train.labels == c].mean(axis=0) for c in range(num_classes)]
+    )
+    return CALLOCModel(
+        num_aps=train.num_aps,
+        num_classes=num_classes,
+        reference_features=reference,
+        reference_positions=train.rp_positions,
+        embed_dim=16,
+        attention_dim=8,
+        rng=np.random.default_rng(rng_seed),
+    )
+
+
+class TestTrainer:
+    def test_training_report_structure(self, tiny_campaign, tiny_training_set):
+        features, labels = tiny_training_set
+        model = build_model(tiny_campaign)
+        trainer = CALLOCTrainer(
+            model,
+            curriculum=Curriculum(num_lessons=3),
+            config=TrainerConfig(epochs_per_lesson=2, seed=0),
+        )
+        report = trainer.train(features, labels)
+        assert len(report.lessons) == 3
+        assert report.total_epochs >= 3
+        assert len(report.loss_curve()) == report.total_epochs
+        assert "lesson" in report.summary()
+
+    def test_loss_decreases_from_first_to_best(self, tiny_campaign, tiny_training_set):
+        features, labels = tiny_training_set
+        model = build_model(tiny_campaign)
+        trainer = CALLOCTrainer(
+            model,
+            curriculum=Curriculum(num_lessons=2),
+            config=TrainerConfig(epochs_per_lesson=8, seed=0),
+        )
+        report = trainer.train(features, labels)
+        curve = report.loss_curve()
+        assert min(curve) < curve[0]
+
+    def test_adaptive_backoffs_are_recorded(self, tiny_campaign, tiny_training_set):
+        features, labels = tiny_training_set
+        model = build_model(tiny_campaign)
+        trainer = CALLOCTrainer(
+            model,
+            curriculum=Curriculum(num_lessons=4),
+            config=TrainerConfig(epochs_per_lesson=4, seed=0, adaptive=True),
+        )
+        report = trainer.train(features, labels)
+        assert report.total_backoffs >= 0  # structural check: field exists and is consistent
+        assert report.total_backoffs == sum(r.backoffs for r in report.lessons)
+
+    def test_static_mode_runs_full_epoch_budget(self, tiny_campaign, tiny_training_set):
+        features, labels = tiny_training_set
+        model = build_model(tiny_campaign)
+        trainer = CALLOCTrainer(
+            model,
+            curriculum=Curriculum(num_lessons=3),
+            config=TrainerConfig(epochs_per_lesson=3, adaptive=False, seed=0),
+        )
+        report = trainer.train(features, labels)
+        assert report.total_epochs == 9
+        assert report.total_backoffs == 0
+
+    def test_model_is_left_in_eval_mode(self, tiny_campaign, tiny_training_set):
+        features, labels = tiny_training_set
+        model = build_model(tiny_campaign)
+        CALLOCTrainer(
+            model,
+            curriculum=Curriculum(num_lessons=2),
+            config=TrainerConfig(epochs_per_lesson=2, seed=0),
+        ).train(features, labels)
+        assert not model.training
+
+
+class TestCALLOCLocalizer:
+    def test_predicts_classes_in_range(self, trained_calloc, tiny_campaign):
+        predictions = trained_calloc.predict_dataset(tiny_campaign.test_all_devices())
+        assert predictions.min() >= 0
+        assert predictions.max() < tiny_campaign.num_classes
+
+    def test_reasonable_clean_accuracy(self, trained_calloc, tiny_campaign):
+        error = trained_calloc.mean_error(tiny_campaign.test_all_devices())
+        # The tiny building spans ~20 m; random guessing would give ~8 m.
+        assert error < 5.0
+
+    def test_predict_proba_is_distribution(self, trained_calloc, tiny_campaign):
+        proba = trained_calloc.predict_proba(tiny_campaign.test_for("S7").features)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert (proba >= 0).all()
+
+    def test_loss_gradient_shape(self, trained_calloc, tiny_campaign):
+        test = tiny_campaign.test_for("OP3")
+        gradient = trained_calloc.loss_gradient(test.features, test.labels)
+        assert gradient.shape == test.features.shape
+        assert np.isfinite(gradient).all()
+
+    def test_unfitted_model_raises(self):
+        model = CALLOC()
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 4)))
+        with pytest.raises(RuntimeError):
+            model.parameter_report()
+
+    def test_invalid_reference_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CALLOC(reference_mode="nearest")
+
+    def test_parameter_report_after_fit(self, trained_calloc):
+        report = trained_calloc.parameter_report()
+        assert report["total"] > 0
+
+    def test_training_report_available(self, trained_calloc):
+        assert trained_calloc.training_report is not None
+        assert trained_calloc.training_report.total_epochs > 0
+
+    def test_no_curriculum_trains_on_clean_lessons_only(self, tiny_campaign):
+        model = CALLOC(
+            embed_dim=16, attention_dim=8, num_lessons=3, epochs_per_lesson=2,
+            use_curriculum=False, seed=0,
+        )
+        model.fit(tiny_campaign.train)
+        assert all(record.lesson.is_baseline for record in model.training_report.lessons)
+
+    def test_curriculum_lessons_escalate_phi(self, trained_calloc):
+        phis = [record.lesson.phi_percent for record in trained_calloc.training_report.lessons]
+        assert phis[0] == 0.0
+        assert phis[-1] == pytest.approx(100.0)
+
+    def test_attack_on_calloc_keeps_error_bounded(self, trained_calloc, tiny_campaign):
+        """Sanity version of Fig. 4: FGSM at moderate strength should not push
+        CALLOC's error beyond half of the building diagonal."""
+        test = tiny_campaign.test_all_devices()
+        threat = ThreatModel(epsilon=0.3, phi_percent=50.0, seed=7)
+        attacked = attack_dataset(test, FGSMAttack(threat), trained_calloc)
+        assert trained_calloc.mean_error(attacked) < 12.0
+
+    def test_all_reference_mode_trains(self, tiny_campaign):
+        model = CALLOC(
+            embed_dim=16, attention_dim=8, num_lessons=2, epochs_per_lesson=2,
+            reference_mode="all", seed=0,
+        )
+        model.fit(tiny_campaign.train)
+        assert model.model.reference_features.shape[0] == tiny_campaign.train.num_samples
+
+    def test_model_weights_round_trip(self, trained_calloc, tiny_campaign, tmp_path):
+        path = save_module(trained_calloc.model, tmp_path / "calloc.npz")
+        source = trained_calloc.model
+        clone = CALLOCModel(
+            num_aps=source.num_aps,
+            num_classes=source.num_classes,
+            reference_features=source.reference_features,
+            reference_positions=source.reference_positions,
+            reference_labels=source.reference_labels,
+            embed_dim=source.embed_dim,
+            attention_dim=source.attention_dim,
+            rng=np.random.default_rng(99),
+        )
+        load_module(clone, path)
+        clone.eval()
+        test = tiny_campaign.test_for("S7")
+        from repro.nn import Tensor
+
+        np.testing.assert_allclose(
+            clone(Tensor(test.features)).data.argmax(axis=1),
+            trained_calloc.predict(test.features),
+        )

@@ -1,0 +1,116 @@
+"""Unit tests for the campaign simulator and CSV import/export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CampaignConfig,
+    collect_campaign,
+    collect_paper_campaigns,
+    load_dataset_csv,
+    save_dataset_csv,
+)
+
+
+class TestCampaignProtocol:
+    def test_train_uses_training_device_only(self, tiny_campaign):
+        assert set(tiny_campaign.train.devices) == {"OP3"}
+
+    def test_train_has_five_scans_per_rp(self, tiny_campaign):
+        counts = tiny_campaign.train.class_counts()
+        assert (counts == 5).all()
+
+    def test_test_has_one_scan_per_rp_per_device(self, tiny_campaign):
+        for device, dataset in tiny_campaign.test_by_device.items():
+            assert (dataset.class_counts() == 1).all()
+            assert set(dataset.devices) == {device}
+
+    def test_all_six_devices_have_test_data(self, tiny_campaign):
+        assert sorted(tiny_campaign.test_by_device) == ["BLU", "HTC", "LG", "MOTO", "OP3", "S7"]
+
+    def test_test_all_devices_concatenates(self, tiny_campaign):
+        combined = tiny_campaign.test_all_devices()
+        assert combined.num_samples == sum(
+            d.num_samples for d in tiny_campaign.test_by_device.values()
+        )
+
+    def test_test_for_unknown_device_raises(self, tiny_campaign):
+        with pytest.raises(KeyError):
+            tiny_campaign.test_for("PIXEL")
+
+    def test_summary_mentions_counts(self, tiny_campaign):
+        text = tiny_campaign.summary()
+        assert "train" in text and "OP3" in text
+
+    def test_same_seed_reproducible(self, tiny_building):
+        a = collect_campaign(tiny_building, CampaignConfig(seed=11))
+        b = collect_campaign(tiny_building, CampaignConfig(seed=11))
+        np.testing.assert_allclose(a.train.rss_dbm, b.train.rss_dbm)
+
+    def test_different_seed_differs(self, tiny_building):
+        a = collect_campaign(tiny_building, CampaignConfig(seed=11))
+        b = collect_campaign(tiny_building, CampaignConfig(seed=12))
+        assert not np.allclose(a.train.rss_dbm, b.train.rss_dbm)
+
+    def test_invalid_config_raises(self, tiny_building):
+        with pytest.raises(ValueError):
+            collect_campaign(tiny_building, CampaignConfig(train_fingerprints_per_rp=0))
+        with pytest.raises(KeyError):
+            collect_campaign(tiny_building, CampaignConfig(training_device="PIXEL"))
+        with pytest.raises(KeyError):
+            collect_campaign(tiny_building, CampaignConfig(test_devices=("PIXEL",)))
+
+    def test_custom_device_subset(self, tiny_building):
+        campaign = collect_campaign(
+            tiny_building, CampaignConfig(test_devices=("OP3", "S7"), seed=1)
+        )
+        assert sorted(campaign.test_by_device) == ["OP3", "S7"]
+
+    def test_collect_paper_campaigns_subset(self):
+        campaigns = collect_paper_campaigns(
+            rp_granularity_m=4.0, buildings=("Building 3",)
+        )
+        assert list(campaigns) == ["Building 3"]
+        assert campaigns["Building 3"].num_aps == 78
+
+    def test_cross_device_heterogeneity_is_visible(self, tiny_campaign):
+        """Device heterogeneity: different devices report different RSS for the
+        same reference points, and MOTO's negative chipset bias (Table I)
+        shows up as systematically weaker readings than OP3's."""
+        op3 = tiny_campaign.test_for("OP3")
+        moto = tiny_campaign.test_for("MOTO")
+        np.testing.assert_array_equal(op3.labels, moto.labels)
+        assert not np.allclose(op3.features, moto.features)
+        detected = (op3.features > 0) & (moto.features > 0)
+        assert moto.features[detected].mean() < op3.features[detected].mean()
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_content(self, tiny_campaign, tmp_path):
+        dataset = tiny_campaign.test_for("S7")
+        path = save_dataset_csv(dataset, tmp_path / "s7.csv")
+        loaded = load_dataset_csv(path)
+        np.testing.assert_allclose(loaded.rss_dbm, dataset.rss_dbm, atol=0.01)
+        np.testing.assert_array_equal(loaded.labels, dataset.labels)
+        assert loaded.building == dataset.building
+        assert list(loaded.devices) == list(dataset.devices)
+
+    def test_round_trip_with_explicit_positions(self, tiny_campaign, tmp_path):
+        dataset = tiny_campaign.train
+        path = save_dataset_csv(dataset, tmp_path / "train.csv")
+        loaded = load_dataset_csv(path, rp_positions=dataset.rp_positions)
+        np.testing.assert_allclose(loaded.rp_positions, dataset.rp_positions)
+
+    def test_loading_missing_column_raises(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("AP000,AP001,RP\n-50,-60,0\n")
+        with pytest.raises(ValueError):
+            load_dataset_csv(path)
+
+    def test_loading_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("AP000,RP,X,Y,DEVICE,BUILDING\n")
+        with pytest.raises(ValueError):
+            load_dataset_csv(path)

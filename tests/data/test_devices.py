@@ -1,0 +1,99 @@
+"""Unit tests for device heterogeneity profiles (Table I)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    PAPER_DEVICES,
+    RSS_FLOOR_DBM,
+    TRAINING_DEVICE,
+    DeviceProfile,
+    device_acronyms,
+    paper_device,
+    paper_devices,
+)
+
+
+class TestTableI:
+    def test_six_devices(self):
+        assert len(PAPER_DEVICES) == 6
+        assert len(paper_devices()) == 6
+
+    def test_acronyms_match_paper(self):
+        assert device_acronyms() == ["BLU", "HTC", "S7", "LG", "MOTO", "OP3"]
+
+    def test_training_device_is_op3(self):
+        assert TRAINING_DEVICE == "OP3"
+
+    def test_lookup_by_acronym(self):
+        assert paper_device("S7").manufacturer == "Samsung"
+
+    def test_unknown_acronym_raises(self):
+        with pytest.raises(KeyError):
+            paper_device("PIXEL")
+
+    def test_devices_are_heterogeneous(self):
+        offsets = {profile.rss_offset_db for profile in PAPER_DEVICES.values()}
+        assert len(offsets) > 1
+
+    def test_training_device_is_reference_like(self):
+        op3 = paper_device("OP3")
+        assert op3.rss_offset_db == pytest.approx(0.0)
+        assert op3.rss_gain == pytest.approx(1.0)
+
+
+class TestDeviceTransform:
+    def test_apply_keeps_physical_range(self, rng):
+        device = paper_device("MOTO")
+        observed = device.apply(np.linspace(-110, 5, 50), rng)
+        assert observed.min() >= RSS_FLOOR_DBM
+        assert observed.max() <= 0.0
+
+    def test_undetected_ap_stays_undetected(self, rng):
+        device = paper_device("HTC")
+        observed = device.apply(np.array([RSS_FLOOR_DBM, -50.0]), rng)
+        assert observed[0] == RSS_FLOOR_DBM
+
+    def test_offset_shifts_readings(self, rng):
+        biased = DeviceProfile(
+            manufacturer="X", model="Y", acronym="XY",
+            rss_offset_db=8.0, noise_std_db=0.0, quantization_db=0.0,
+            ap_response_std_db=0.0,
+        )
+        observed = biased.apply(np.full(10, -60.0), rng)
+        np.testing.assert_allclose(observed, -52.0)
+
+    def test_quantization_rounds_to_step(self, rng):
+        device = DeviceProfile(
+            manufacturer="X", model="Y", acronym="Q",
+            noise_std_db=0.0, quantization_db=2.0, ap_response_std_db=0.0,
+        )
+        observed = device.apply(np.array([-60.7, -61.3]), rng)
+        assert set(np.unique(observed)) <= {-60.0, -62.0}
+
+    def test_ap_response_is_deterministic_per_device(self):
+        device = paper_device("LG")
+        np.testing.assert_allclose(device.ap_response(32), device.ap_response(32))
+
+    def test_ap_response_differs_between_devices(self):
+        assert not np.allclose(
+            paper_device("LG").ap_response(32), paper_device("BLU").ap_response(32)
+        )
+
+    def test_detection_threshold_drops_weak_signals(self, rng):
+        device = DeviceProfile(
+            manufacturer="X", model="Y", acronym="T",
+            detection_threshold_dbm=-70.0, noise_std_db=0.0,
+            quantization_db=0.0, ap_response_std_db=0.0,
+        )
+        observed = device.apply(np.array([-80.0, -60.0]), rng)
+        assert observed[0] == RSS_FLOOR_DBM
+        assert observed[1] == -60.0
+
+    def test_same_channel_seen_differently_by_two_devices(self, rng):
+        channel = np.linspace(-90, -40, 30)
+        a = paper_device("MOTO").apply(channel, np.random.default_rng(0))
+        b = paper_device("OP3").apply(channel, np.random.default_rng(0))
+        assert np.abs(a - b).mean() > 1.0

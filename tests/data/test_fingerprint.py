@@ -1,0 +1,127 @@
+"""Unit tests for fingerprint dataset containers and normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import FingerprintDataset, denormalize_rss, normalize_rss
+
+
+@pytest.fixture()
+def small_dataset() -> FingerprintDataset:
+    rng = np.random.default_rng(0)
+    rss = rng.uniform(-100, -30, size=(12, 6))
+    labels = np.repeat(np.arange(4), 3)
+    positions = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+    devices = np.array(["OP3"] * 6 + ["S7"] * 6, dtype=object)
+    return FingerprintDataset(rss, labels, positions, building="Test", devices=devices)
+
+
+class TestNormalization:
+    def test_normalize_range(self):
+        features = normalize_rss(np.array([-100.0, -50.0, 0.0]))
+        np.testing.assert_allclose(features, [0.0, 0.5, 1.0])
+
+    def test_normalize_clips_out_of_range(self):
+        features = normalize_rss(np.array([-120.0, 20.0]))
+        np.testing.assert_allclose(features, [0.0, 1.0])
+
+    def test_round_trip(self):
+        rss = np.array([-95.0, -60.0, -10.0])
+        np.testing.assert_allclose(denormalize_rss(normalize_rss(rss)), rss)
+
+    def test_denormalize_clips(self):
+        np.testing.assert_allclose(denormalize_rss(np.array([-0.5, 1.5])), [-100.0, 0.0])
+
+
+class TestDatasetConstruction:
+    def test_basic_properties(self, small_dataset):
+        assert small_dataset.num_samples == 12
+        assert small_dataset.num_aps == 6
+        assert small_dataset.num_classes == 4
+        assert len(small_dataset) == 12
+
+    def test_features_in_unit_range(self, small_dataset):
+        features = small_dataset.features
+        assert features.min() >= 0.0 and features.max() <= 1.0
+
+    def test_rejects_label_sample_mismatch(self):
+        with pytest.raises(ValueError):
+            FingerprintDataset(np.zeros((3, 2)), np.zeros(4, dtype=int), np.zeros((1, 2)))
+
+    def test_rejects_bad_rp_positions(self):
+        with pytest.raises(ValueError):
+            FingerprintDataset(np.zeros((3, 2)), np.zeros(3, dtype=int), np.zeros((1, 3)))
+
+    def test_rejects_label_out_of_range(self):
+        with pytest.raises(ValueError):
+            FingerprintDataset(np.zeros((2, 2)), np.array([0, 5]), np.zeros((2, 2)))
+
+    def test_rejects_non_2d_rss(self):
+        with pytest.raises(ValueError):
+            FingerprintDataset(np.zeros(6), np.zeros(6, dtype=int), np.zeros((1, 2)))
+
+    def test_single_device_string_broadcasts(self):
+        dataset = FingerprintDataset(
+            np.zeros((3, 2)), np.zeros(3, dtype=int), np.zeros((1, 2)), devices="OP3"
+        )
+        assert list(dataset.devices) == ["OP3"] * 3
+
+    def test_device_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            FingerprintDataset(
+                np.zeros((3, 2)),
+                np.zeros(3, dtype=int),
+                np.zeros((1, 2)),
+                devices=np.array(["A", "B"], dtype=object),
+            )
+
+
+class TestDatasetOperations:
+    def test_positions_of_defaults_to_own_labels(self, small_dataset):
+        positions = small_dataset.positions_of()
+        assert positions.shape == (12, 2)
+        np.testing.assert_allclose(positions[:3], np.zeros((3, 2)))
+
+    def test_subset_preserves_classes(self, small_dataset):
+        subset = small_dataset.subset(np.array([0, 1, 2]))
+        assert subset.num_samples == 3
+        assert subset.num_classes == 4
+
+    def test_for_device(self, small_dataset):
+        op3 = small_dataset.for_device("OP3")
+        assert op3.num_samples == 6
+        assert set(op3.devices) == {"OP3"}
+
+    def test_shuffled_is_permutation(self, small_dataset, rng):
+        shuffled = small_dataset.shuffled(rng)
+        assert sorted(shuffled.labels.tolist()) == sorted(small_dataset.labels.tolist())
+
+    def test_with_rss_replaces_measurements(self, small_dataset):
+        new_rss = np.full_like(small_dataset.rss_dbm, -40.0)
+        replaced = small_dataset.with_rss(new_rss)
+        np.testing.assert_allclose(replaced.rss_dbm, -40.0)
+        np.testing.assert_array_equal(replaced.labels, small_dataset.labels)
+
+    def test_concatenate(self, small_dataset):
+        combined = FingerprintDataset.concatenate([small_dataset, small_dataset])
+        assert combined.num_samples == 24
+
+    def test_concatenate_rejects_mismatched_aps(self, small_dataset):
+        other = FingerprintDataset(
+            np.zeros((2, 3)), np.zeros(2, dtype=int), small_dataset.rp_positions
+        )
+        with pytest.raises(ValueError):
+            FingerprintDataset.concatenate([small_dataset, other])
+
+    def test_concatenate_empty_raises(self):
+        with pytest.raises(ValueError):
+            FingerprintDataset.concatenate([])
+
+    def test_class_counts(self, small_dataset):
+        np.testing.assert_array_equal(small_dataset.class_counts(), [3, 3, 3, 3])
+
+    def test_summary_mentions_building_and_devices(self, small_dataset):
+        text = small_dataset.summary()
+        assert "Test" in text and "OP3" in text

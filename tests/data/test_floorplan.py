@@ -1,0 +1,134 @@
+"""Unit tests for building floorplans, access points and reference points."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MATERIAL_ATTENUATION_DB,
+    PAPER_BUILDING_SPECS,
+    AccessPoint,
+    Material,
+    ReferencePoint,
+    Wall,
+    build_building,
+    paper_building,
+    paper_buildings,
+)
+
+
+class TestTableII:
+    def test_five_buildings_defined(self):
+        assert len(PAPER_BUILDING_SPECS) == 5
+
+    @pytest.mark.parametrize(
+        "name, aps, path",
+        [
+            ("Building 1", 156, 64.0),
+            ("Building 2", 125, 62.0),
+            ("Building 3", 78, 88.0),
+            ("Building 4", 112, 68.0),
+            ("Building 5", 218, 60.0),
+        ],
+    )
+    def test_specs_match_paper(self, name, aps, path):
+        spec = PAPER_BUILDING_SPECS[name]
+        assert spec.visible_aps == aps
+        assert spec.path_length_m == pytest.approx(path)
+
+    def test_building_5_has_most_aps(self):
+        counts = {name: spec.visible_aps for name, spec in PAPER_BUILDING_SPECS.items()}
+        assert max(counts, key=counts.get) == "Building 5"
+
+    def test_characteristics_use_known_materials(self):
+        for spec in PAPER_BUILDING_SPECS.values():
+            assert set(spec.characteristics) <= set(MATERIAL_ATTENUATION_DB)
+
+
+class TestBuildingConstruction:
+    def test_generated_ap_count_matches_spec(self):
+        building = paper_building("Building 2", rp_granularity_m=2.0)
+        assert building.num_access_points == 125
+
+    def test_path_length_matches_spec(self):
+        building = paper_building("Building 1", rp_granularity_m=1.0)
+        assert building.path_length_m == pytest.approx(64.0)
+
+    def test_rp_count_scales_with_granularity(self):
+        fine = paper_building("Building 1", rp_granularity_m=1.0)
+        coarse = paper_building("Building 1", rp_granularity_m=2.0)
+        assert fine.num_reference_points > coarse.num_reference_points
+        assert fine.num_reference_points == 65  # 64 m path at 1 m granularity
+
+    def test_same_seed_is_deterministic(self, tiny_spec):
+        a = build_building(tiny_spec, seed=5)
+        b = build_building(tiny_spec, seed=5)
+        assert [ap.position for ap in a.access_points] == [ap.position for ap in b.access_points]
+
+    def test_different_seeds_differ(self, tiny_spec):
+        a = build_building(tiny_spec, seed=5)
+        b = build_building(tiny_spec, seed=6)
+        assert [ap.position for ap in a.access_points] != [ap.position for ap in b.access_points]
+
+    def test_unknown_building_raises(self):
+        with pytest.raises(KeyError):
+            paper_building("Building 99")
+
+    def test_invalid_granularity_raises(self, tiny_spec):
+        with pytest.raises(ValueError):
+            build_building(tiny_spec, rp_granularity_m=0.0)
+
+    def test_paper_buildings_returns_all_five(self):
+        assert len(paper_buildings(rp_granularity_m=4.0)) == 5
+
+    def test_rp_positions_shape(self, tiny_building):
+        positions = tiny_building.rp_positions()
+        assert positions.shape == (tiny_building.num_reference_points, 2)
+
+    def test_rp_distance_matrix_is_symmetric_with_zero_diagonal(self, tiny_building):
+        distances = tiny_building.rp_distance_matrix()
+        np.testing.assert_allclose(distances, distances.T)
+        np.testing.assert_allclose(np.diag(distances), 0.0)
+
+    def test_consecutive_rps_are_close(self, tiny_building):
+        positions = tiny_building.rp_positions()
+        steps = np.linalg.norm(np.diff(positions, axis=0), axis=1)
+        assert steps.max() <= 6.0  # granularity or a corridor turn
+
+
+class TestGeometryPrimitives:
+    def test_access_point_distance(self):
+        ap = AccessPoint(identifier=0, position=(0.0, 0.0))
+        assert ap.distance_to((3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_reference_point_distance(self):
+        a = ReferencePoint(0, (0.0, 0.0))
+        b = ReferencePoint(1, (1.0, 1.0))
+        assert a.distance_to(b) == pytest.approx(np.sqrt(2))
+
+    def test_wall_attenuation_lookup(self):
+        wall = Wall(start=(0, 0), end=(0, 5), material=Material.METAL)
+        assert wall.attenuation_db == MATERIAL_ATTENUATION_DB[Material.METAL]
+
+    def test_wall_intersection_detects_crossing(self):
+        wall = Wall(start=(1.0, -1.0), end=(1.0, 1.0))
+        assert wall.intersects((0.0, 0.0), (2.0, 0.0))
+
+    def test_wall_intersection_rejects_parallel_segments(self):
+        wall = Wall(start=(0.0, 1.0), end=(5.0, 1.0))
+        assert not wall.intersects((0.0, 0.0), (5.0, 0.0))
+
+    def test_wall_attenuation_along_link(self, tiny_building):
+        ap = tiny_building.access_points[0]
+        rp = tiny_building.reference_points[-1]
+        total = tiny_building.wall_attenuation_db(ap, rp)
+        crossings = tiny_building.wall_crossings(ap, rp)
+        assert total == pytest.approx(sum(w.attenuation_db for w in crossings))
+
+    def test_material_attenuations_are_ordered(self):
+        assert (
+            MATERIAL_ATTENUATION_DB[Material.WOOD]
+            < MATERIAL_ATTENUATION_DB[Material.CONCRETE]
+            < MATERIAL_ATTENUATION_DB[Material.METAL]
+        )

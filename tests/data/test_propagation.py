@@ -1,0 +1,98 @@
+"""Unit tests for the RSS propagation model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import RSS_CEIL_DBM, RSS_FLOOR_DBM, PropagationConfig, PropagationModel
+
+
+@pytest.fixture(scope="module")
+def model(tiny_building):
+    return PropagationModel(tiny_building, seed=3)
+
+
+class TestMeanRSS:
+    def test_shape(self, model, tiny_building):
+        assert model.mean_rss_dbm.shape == (
+            tiny_building.num_reference_points,
+            tiny_building.num_access_points,
+        )
+
+    def test_signal_decays_with_distance(self, tiny_building):
+        config = PropagationConfig()
+        quiet = PropagationModel(tiny_building, config=config, seed=3)
+        ap = tiny_building.access_points[0]
+        distances = np.array(
+            [ap.distance_to(rp.position) for rp in tiny_building.reference_points]
+        )
+        rss = quiet.mean_rss_dbm[:, 0]
+        near, far = distances.argmin(), distances.argmax()
+        assert rss[near] > rss[far]
+
+    def test_same_seed_reproducible(self, tiny_building):
+        a = PropagationModel(tiny_building, seed=3).mean_rss_dbm
+        b = PropagationModel(tiny_building, seed=3).mean_rss_dbm
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seed_changes_shadowing(self, tiny_building):
+        a = PropagationModel(tiny_building, seed=3).mean_rss_dbm
+        b = PropagationModel(tiny_building, seed=4).mean_rss_dbm
+        assert not np.allclose(a, b)
+
+    def test_shadowing_is_spatially_correlated(self, tiny_building):
+        model = PropagationModel(tiny_building, seed=3)
+        shadowing = model._shadowing
+        # Correlation between adjacent RPs should exceed correlation between
+        # the two most distant RPs (averaged over APs).
+        adjacent = np.corrcoef(shadowing[0], shadowing[1])[0, 1]
+        distant = np.corrcoef(shadowing[0], shadowing[-1])[0, 1]
+        assert adjacent > distant
+
+
+class TestSampling:
+    def test_sample_within_physical_range(self, model, rng):
+        scan = model.sample(0, rng)
+        assert scan.min() >= RSS_FLOOR_DBM
+        assert scan.max() <= RSS_CEIL_DBM
+
+    def test_sample_out_of_range_rp_raises(self, model, rng):
+        with pytest.raises(IndexError):
+            model.sample(10_000, rng)
+
+    def test_sample_batch_shape(self, model, rng, tiny_building):
+        scans = model.sample_batch(np.array([0, 1, 2, 0]), rng)
+        assert scans.shape == (4, tiny_building.num_access_points)
+
+    def test_scans_at_same_rp_differ_due_to_noise(self, model, rng):
+        a = model.sample(0, rng)
+        b = model.sample(0, rng)
+        assert not np.allclose(a, b)
+
+    def test_detection_threshold_masks_weak_aps(self, tiny_building, rng):
+        config = PropagationConfig(detection_threshold_dbm=-50.0, scan_dropout_rate=0.0)
+        model = PropagationModel(tiny_building, config=config, seed=3)
+        scan = model.sample(0, rng)
+        assert ((scan >= -50.0) | (scan == RSS_FLOOR_DBM)).all()
+
+    def test_scan_dropout_forces_floor_values(self, tiny_building, rng):
+        config = PropagationConfig(scan_dropout_rate=0.9)
+        model = PropagationModel(tiny_building, config=config, seed=3)
+        scan = model.sample(0, rng)
+        assert (scan == RSS_FLOOR_DBM).mean() > 0.5
+
+    def test_zero_noise_config_is_deterministic(self, tiny_building):
+        config = PropagationConfig(scan_dropout_rate=0.0, multipath_std_db=0.0)
+        model = PropagationModel(tiny_building, config=config, seed=3)
+        a = model.sample(2, np.random.default_rng(0), temporal_noise_db=0.0)
+        b = model.sample(2, np.random.default_rng(1), temporal_noise_db=0.0)
+        np.testing.assert_allclose(a, b)
+
+    def test_apply_detection_clips_and_floors(self, model):
+        raw = np.array([-120.0, -97.0, -60.0, 10.0])
+        processed = model.apply_detection(raw)
+        assert processed[0] == RSS_FLOOR_DBM
+        assert processed[1] == RSS_FLOOR_DBM  # below default detection threshold
+        assert processed[2] == -60.0
+        assert processed[3] == RSS_CEIL_DBM

@@ -1,0 +1,69 @@
+"""Property-based tests for the data substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data import RSS_CEIL_DBM, RSS_FLOOR_DBM, denormalize_rss, normalize_rss
+from repro.data.devices import paper_device
+
+rss_values = st.floats(min_value=-150.0, max_value=30.0, allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(dtype=np.float64, shape=(8,), elements=rss_values))
+def test_normalized_features_always_in_unit_interval(rss):
+    features = normalize_rss(rss)
+    assert features.min() >= 0.0 and features.max() <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=(8,),
+        elements=st.floats(min_value=-100.0, max_value=0.0, allow_nan=False),
+    )
+)
+def test_normalize_denormalize_round_trip_inside_range(rss):
+    np.testing.assert_allclose(denormalize_rss(normalize_rss(rss)), rss, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(dtype=np.float64, shape=(16,), elements=rss_values),
+    st.sampled_from(["BLU", "HTC", "S7", "LG", "MOTO", "OP3"]),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_device_transform_stays_in_physical_range(rss, acronym, seed):
+    device = paper_device(acronym)
+    observed = device.apply(rss, np.random.default_rng(seed))
+    assert observed.min() >= RSS_FLOOR_DBM
+    assert observed.max() <= RSS_CEIL_DBM
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.sampled_from(["BLU", "HTC", "S7", "LG", "MOTO", "OP3"]),
+    st.integers(min_value=1, max_value=64),
+)
+def test_ap_response_is_deterministic(acronym, num_aps):
+    device = paper_device(acronym)
+    np.testing.assert_allclose(device.ap_response(num_aps), device.ap_response(num_aps))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=(4, 6),
+        elements=st.floats(min_value=-100.0, max_value=0.0, allow_nan=False),
+    )
+)
+def test_undetected_aps_remain_undetected_after_device_transform(rss):
+    rss[:, 0] = RSS_FLOOR_DBM
+    observed = paper_device("MOTO").apply(rss, np.random.default_rng(0))
+    assert (observed[:, 0] == RSS_FLOOR_DBM).all()

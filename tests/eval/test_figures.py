@@ -1,0 +1,73 @@
+"""Integration tests for the per-figure experiment entry points.
+
+These use an extra-small evaluation profile so the whole module stays fast;
+the full-scale regeneration of every artefact lives in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    EvaluationConfig,
+    fig1_attack_impact,
+    fig5_curriculum,
+    table1_devices,
+    table2_buildings,
+    table3_model_budget,
+)
+
+
+@pytest.fixture(scope="module")
+def micro_config():
+    return EvaluationConfig(
+        buildings=("Building 3",),
+        devices=("OP3", "MOTO"),
+        attack_methods=("FGSM",),
+        epsilons=(0.2,),
+        phi_percents=(50.0,),
+        rp_granularity_m=8.0,
+        attack_seeds=(5,),
+        epochs_per_lesson=2,
+        baseline_epochs=15,
+    )
+
+
+class TestTables:
+    def test_table1_lists_six_devices(self):
+        result = table1_devices()
+        assert len(result["rows"]) == 6
+        assert "Oneplus" in result["text"]
+
+    def test_table2_matches_paper_ap_counts(self):
+        result = table2_buildings(rp_granularity_m=4.0)
+        ap_counts = {row[0]: row[2] for row in result["rows"]}
+        assert ap_counts["Building 5"] == 218
+        assert "88 m" in result["text"]
+
+    def test_table3_reports_deployable_budget(self):
+        result = table3_model_budget()
+        assert result["report"]["embedding_layers"] == 42496
+        # Same order of magnitude as the paper's 65,239-parameter model.
+        assert 40_000 < result["deployment_total"] < 130_000
+        assert result["size_kb"] < 600
+
+    def test_table3_custom_dimensions(self):
+        result = table3_model_budget(num_aps=32, num_classes=10)
+        assert result["report"]["embedding_layers"] == 2 * (32 * 128 + 128)
+
+
+class TestFigures:
+    def test_fig1_shows_attack_degradation(self, micro_config):
+        result = fig1_attack_impact(micro_config)
+        for model, stats in result["summary"].items():
+            assert stats["attacked"] > stats["clean"], model
+        assert "KNN" in result["text"]
+
+    def test_fig5_produces_curves_for_both_variants(self, micro_config):
+        result = fig5_curriculum(micro_config)
+        curves = result["curves"]["FGSM"]
+        assert len(curves["CALLOC"]) == len(micro_config.epsilons)
+        assert len(curves["NC"]) == len(micro_config.epsilons)
+        assert all(np.isfinite(curves["CALLOC"]))

@@ -1,0 +1,103 @@
+"""Unit tests for evaluation metrics and plain-text reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    ErrorStats,
+    aggregate_stats,
+    ascii_table,
+    error_stats,
+    format_factor_table,
+    improvement_factor,
+    results_to_csv,
+    text_heatmap,
+)
+
+
+class TestErrorStats:
+    def test_basic_statistics(self):
+        stats = error_stats([1.0, 2.0, 3.0, 10.0])
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.worst_case == pytest.approx(10.0)
+        assert stats.median == pytest.approx(2.5)
+        assert stats.count == 4
+
+    def test_empty_errors_raise(self):
+        with pytest.raises(ValueError):
+            error_stats([])
+
+    def test_as_dict_round_trip(self):
+        stats = error_stats([1.0, 2.0])
+        data = stats.as_dict()
+        assert data["mean"] == stats.mean
+        assert data["count"] == 2
+
+    def test_str_contains_key_numbers(self):
+        assert "mean=1.50m" in str(error_stats([1.0, 2.0]))
+
+    def test_aggregate_weights_by_count(self):
+        a = error_stats([1.0])
+        b = error_stats([3.0, 3.0, 3.0])
+        combined = aggregate_stats([a, b])
+        assert combined.mean == pytest.approx(2.5)
+        assert combined.count == 4
+        assert combined.worst_case == pytest.approx(3.0)
+
+    def test_aggregate_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_stats([])
+
+    def test_improvement_factor(self):
+        assert improvement_factor(6.0, 2.0) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            improvement_factor(6.0, 0.0)
+
+
+class TestReporting:
+    def test_ascii_table_alignment_and_content(self):
+        table = ascii_table([["CALLOC", 1.234], ["WiDeep", 6.5]], headers=["model", "err"])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "CALLOC" in lines[2] and "1.23" in lines[2]
+
+    def test_ascii_table_handles_empty_rows(self):
+        table = ascii_table([], headers=["a", "b"])
+        assert "a" in table
+
+    def test_text_heatmap_contains_labels_and_values(self):
+        matrix = np.array([[1.0, 2.0], [3.0, 4.0]])
+        rendered = text_heatmap(matrix, ["r1", "r2"], ["c1", "c2"], title="demo")
+        assert "demo" in rendered
+        assert "r1" in rendered and "c2" in rendered
+        assert "4.00" in rendered
+
+    def test_text_heatmap_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError):
+            text_heatmap(np.zeros((2, 2)), ["r1"], ["c1", "c2"])
+
+    def test_text_heatmap_constant_matrix(self):
+        rendered = text_heatmap(np.ones((2, 3)), ["a", "b"], ["x", "y", "z"])
+        assert "1.00" in rendered
+
+    def test_format_factor_table(self):
+        text = format_factor_table(
+            {"mean": 1.0, "worst_case": 2.0},
+            {"WiDeep": {"mean": 6.0, "worst_case": 9.2}},
+        )
+        assert "WiDeep" in text
+        assert "6.00" in text
+        assert "4.60" in text  # worst-case factor
+
+    def test_results_to_csv_round_trip(self, tmp_path):
+        rows = [{"model": "CALLOC", "mean": 1.5}, {"model": "DNN", "mean": 3.0}]
+        path = results_to_csv(rows, tmp_path / "out.csv")
+        content = path.read_text().splitlines()
+        assert content[0] == "model,mean"
+        assert len(content) == 3
+
+    def test_results_to_csv_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            results_to_csv([], tmp_path / "out.csv")

@@ -1,0 +1,118 @@
+"""Unit tests for scaled dot-product and multi-head attention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import MultiHeadAttention, ScaledDotProductAttention, Tensor, attention_scores
+
+
+class TestAttentionScores:
+    def test_weights_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        weights = attention_scores(Tensor(rng.normal(size=(4, 8))), Tensor(rng.normal(size=(6, 8))))
+        np.testing.assert_allclose(weights.data.sum(axis=-1), np.ones(4))
+
+    def test_rejects_mismatched_dimensions(self):
+        with pytest.raises(ValueError):
+            attention_scores(Tensor(np.zeros((2, 4))), Tensor(np.zeros((2, 5))))
+
+    def test_scale_default_is_inverse_sqrt_dk(self):
+        query = Tensor(np.ones((1, 16)))
+        key = Tensor(np.concatenate([np.ones((1, 16)), np.zeros((1, 16))]))
+        weights_default = attention_scores(query, key).data
+        weights_manual = attention_scores(query, key, scale=1.0 / 4.0).data
+        np.testing.assert_allclose(weights_default, weights_manual)
+
+    def test_identical_query_key_prefers_matching_entry(self):
+        rng = np.random.default_rng(1)
+        keys = rng.normal(size=(5, 8)) * 3
+        weights = attention_scores(Tensor(keys[2:3]), Tensor(keys)).data
+        assert weights[0].argmax() == 2
+
+    def test_bias_shifts_attention(self):
+        rng = np.random.default_rng(2)
+        query = Tensor(rng.normal(size=(1, 4)))
+        key = Tensor(rng.normal(size=(3, 4)))
+        bias = np.zeros((1, 3))
+        bias[0, 1] = 50.0
+        weights = attention_scores(query, key, bias=Tensor(bias)).data
+        assert weights[0].argmax() == 1
+        assert weights[0, 1] > 0.99
+
+
+class TestScaledDotProductAttention:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        attention = ScaledDotProductAttention()
+        out = attention(
+            Tensor(rng.normal(size=(4, 8))),
+            Tensor(rng.normal(size=(6, 8))),
+            Tensor(rng.normal(size=(6, 3))),
+        )
+        assert out.shape == (4, 3)
+
+    def test_stores_last_weights(self):
+        rng = np.random.default_rng(0)
+        attention = ScaledDotProductAttention()
+        assert attention.last_attention_weights is None
+        attention(
+            Tensor(rng.normal(size=(2, 4))),
+            Tensor(rng.normal(size=(5, 4))),
+            Tensor(rng.normal(size=(5, 2))),
+        )
+        assert attention.last_attention_weights.shape == (2, 5)
+
+    def test_has_no_trainable_parameters(self):
+        assert ScaledDotProductAttention().parameters() == []
+
+    def test_gradient_flows_to_query(self):
+        rng = np.random.default_rng(0)
+        query = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        out = ScaledDotProductAttention()(
+            query, Tensor(rng.normal(size=(5, 4))), Tensor(rng.normal(size=(5, 2)))
+        )
+        out.sum().backward()
+        assert query.grad is not None and np.abs(query.grad).sum() > 0
+
+    def test_uniform_value_rows_give_that_value(self):
+        rng = np.random.default_rng(0)
+        value = np.tile(np.array([[2.0, -1.0]]), (4, 1))
+        out = ScaledDotProductAttention()(
+            Tensor(rng.normal(size=(3, 6))),
+            Tensor(rng.normal(size=(4, 6))),
+            Tensor(value),
+        )
+        np.testing.assert_allclose(out.data, np.tile([[2.0, -1.0]], (3, 1)), atol=1e-9)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape_matches_input(self):
+        rng = np.random.default_rng(0)
+        mha = MultiHeadAttention(16, 4, rng=rng)
+        out = mha(Tensor(rng.normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3)
+
+    def test_parameter_count(self):
+        mha = MultiHeadAttention(8, 2)
+        # Four projections of 8x8 plus biases.
+        assert mha.num_parameters() == 4 * (8 * 8 + 8)
+
+    def test_gradients_reach_inputs(self):
+        rng = np.random.default_rng(0)
+        mha = MultiHeadAttention(8, 2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 8)), requires_grad=True)
+        mha(x).sum().backward()
+        assert x.grad.shape == (2, 3, 8)
+
+    def test_cross_attention_accepts_distinct_key_value(self):
+        rng = np.random.default_rng(0)
+        mha = MultiHeadAttention(8, 2, rng=rng)
+        query = Tensor(rng.normal(size=(1, 2, 8)))
+        memory = Tensor(rng.normal(size=(1, 6, 8)))
+        assert mha(query, memory, memory).shape == (1, 2, 8)

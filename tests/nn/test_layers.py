@@ -1,0 +1,284 @@
+"""Unit tests for neural-network layers and the Module system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv1d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GaussianNoise,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    MaxPool1d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    Tensor,
+)
+
+
+class TestModuleSystem:
+    def test_parameters_are_discovered_recursively(self):
+        net = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        assert len(net.parameters()) == 4  # two weights + two biases
+
+    def test_named_parameters_have_qualified_names(self):
+        net = Sequential(Linear(3, 3))
+        names = [name for name, _ in net.named_parameters()]
+        assert names == ["layer_0.weight", "layer_0.bias"]
+
+    def test_modules_iterates_children(self):
+        net = Sequential(Linear(2, 2), ReLU())
+        assert len(list(net.modules())) == 3  # Sequential + 2 children
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Linear(2, 2), Dropout(0.5))
+        net.eval()
+        assert all(not module.training for module in net.modules())
+        net.train()
+        assert all(module.training for module in net.modules())
+
+    def test_zero_grad_clears_all(self):
+        layer = Linear(3, 2)
+        out = layer(Tensor(np.ones((1, 3)), requires_grad=True))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_round_trip(self):
+        source = Linear(3, 2, rng=np.random.default_rng(0))
+        target = Linear(3, 2, rng=np.random.default_rng(99))
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_allclose(source.weight.data, target.weight.data)
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        layer = Linear(3, 2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": layer.weight.data})
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        layer = Linear(3, 2)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_num_parameters(self):
+        layer = Linear(10, 5)
+        assert layer.num_parameters() == 10 * 5 + 5
+
+    def test_state_dict_returns_copies(self):
+        layer = Linear(2, 2)
+        state = layer.state_dict()
+        state["weight"][:] = 0.0
+        assert not np.allclose(layer.weight.data, 0.0)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(6, 3)
+        assert layer(Tensor(np.zeros((5, 6)))).shape == (5, 3)
+
+    def test_no_bias_option(self):
+        layer = Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_forward_matches_manual_computation(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_gradients_flow_to_weights(self):
+        layer = Linear(3, 2)
+        layer(Tensor(np.ones((2, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_he_initializer_option(self):
+        layer = Linear(100, 50, initializer="he_normal", rng=np.random.default_rng(0))
+        assert abs(layer.weight.data.std() - np.sqrt(2.0 / 100)) < 0.02
+
+    def test_repr(self):
+        assert "Linear(in=3, out=2" in repr(Linear(3, 2))
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "module, reference",
+        [
+            (ReLU(), lambda x: np.maximum(x, 0)),
+            (Tanh(), np.tanh),
+            (Sigmoid(), lambda x: 1 / (1 + np.exp(-x))),
+            (LeakyReLU(0.2), lambda x: np.where(x > 0, x, 0.2 * x)),
+        ],
+    )
+    def test_matches_numpy_reference(self, module, reference):
+        data = np.linspace(-2, 2, 11)
+        np.testing.assert_allclose(module(Tensor(data)).data, reference(data), atol=1e-12)
+
+    def test_softmax_module(self):
+        probs = Softmax()(Tensor(np.random.default_rng(0).normal(size=(3, 5)))).data
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(3))
+
+
+class TestDropoutAndNoise:
+    def test_dropout_identity_in_eval_mode(self):
+        layer = Dropout(0.5)
+        layer.eval()
+        data = np.ones((4, 4))
+        np.testing.assert_allclose(layer(Tensor(data)).data, data)
+
+    def test_dropout_zeroes_some_entries_in_train_mode(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((20, 20)))).data
+        assert (out == 0).any()
+
+    def test_dropout_scales_kept_entries(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((50, 50)))).data
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+
+    def test_dropout_rejects_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+    def test_gaussian_noise_only_in_training(self):
+        layer = GaussianNoise(0.5, rng=np.random.default_rng(0))
+        data = np.zeros((4, 4))
+        noisy = layer(Tensor(data)).data
+        assert noisy.std() > 0
+        layer.eval()
+        np.testing.assert_allclose(layer(Tensor(data)).data, data)
+
+    def test_gaussian_noise_std_zero_is_identity(self):
+        layer = GaussianNoise(0.0)
+        data = np.ones((2, 2))
+        np.testing.assert_allclose(layer(Tensor(data)).data, data)
+
+    def test_gaussian_noise_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-0.1)
+
+    def test_paper_defaults(self):
+        # CALLOC uses dropout 0.2 and Gaussian noise 0.32 (Sec. V.A).
+        assert Dropout().rate == pytest.approx(0.2)
+        assert GaussianNoise().std == pytest.approx(0.32)
+
+
+class TestLayerNorm:
+    def test_normalises_last_dimension(self):
+        layer = LayerNorm(8)
+        out = layer(Tensor(np.random.default_rng(0).normal(2.0, 3.0, size=(5, 8)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(5), atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(5), atol=1e-2)
+
+    def test_has_learnable_scale_and_shift(self):
+        layer = LayerNorm(4)
+        assert {p.name for p in layer.parameters()} == {"gamma", "beta"}
+
+
+class TestSequential:
+    def test_applies_in_order(self):
+        net = Sequential(Linear(2, 2, rng=np.random.default_rng(0)), ReLU())
+        out = net(Tensor(np.array([[1.0, -1.0]])))
+        assert (out.data >= 0).all()
+
+    def test_len_getitem_iter(self):
+        net = Sequential(ReLU(), Tanh())
+        assert len(net) == 2
+        assert isinstance(net[1], Tanh)
+        assert [type(m) for m in net] == [ReLU, Tanh]
+
+    def test_append(self):
+        net = Sequential(ReLU())
+        net.append(Linear(2, 2))
+        assert len(net) == 2
+        assert len(net.parameters()) == 2
+
+
+class TestConvAndPool:
+    def test_conv_output_shape(self):
+        conv = Conv1d(1, 4, kernel_size=3, padding=1)
+        out = conv(Tensor(np.zeros((2, 1, 10))))
+        assert out.shape == (2, 4, 10)
+
+    def test_conv_with_stride(self):
+        conv = Conv1d(1, 2, kernel_size=3, stride=2)
+        assert conv(Tensor(np.zeros((1, 1, 11)))).shape == (1, 2, 5)
+        assert conv.output_length(11) == 5
+
+    def test_conv_rejects_wrong_channels(self):
+        conv = Conv1d(2, 4, kernel_size=3)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 1, 10))))
+
+    def test_conv_gradients_flow(self):
+        conv = Conv1d(1, 2, kernel_size=3)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 1, 8)), requires_grad=True)
+        conv(x).sum().backward()
+        assert x.grad.shape == (2, 1, 8)
+        assert conv.weight.grad is not None
+
+    def test_maxpool_shape_and_values(self):
+        pool = MaxPool1d(2)
+        data = np.array([[[1.0, 3.0, 2.0, 5.0]]])
+        out = pool(Tensor(data))
+        np.testing.assert_allclose(out.data, [[[3.0, 5.0]]])
+
+    def test_maxpool_rejects_too_small_input(self):
+        pool = MaxPool1d(4)
+        with pytest.raises(ValueError):
+            pool(Tensor(np.zeros((1, 1, 2))))
+
+    def test_flatten_module(self):
+        out = Flatten()(Tensor(np.zeros((3, 2, 5))))
+        assert out.shape == (3, 10)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        table = Embedding(10, 4)
+        out = table(np.array([1, 5, 5]))
+        assert out.shape == (3, 4)
+
+    def test_lookup_returns_matching_rows(self):
+        table = Embedding(6, 3)
+        out = table(np.array([2]))
+        np.testing.assert_allclose(out.data[0], table.weight.data[2])
+
+
+class TestParameter:
+    def test_parameter_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad
+
+    def test_custom_module_registration(self):
+        class Custom(Module):
+            def __init__(self):
+                super().__init__()
+                self.scale = Parameter(np.ones(1))
+                self.inner = Linear(2, 2)
+
+            def forward(self, x):
+                return self.inner(x) * self.scale
+
+        module = Custom()
+        assert len(module.parameters()) == 3
+        names = {name for name, _ in module.named_parameters()}
+        assert "scale" in names and "inner.weight" in names

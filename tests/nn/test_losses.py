@@ -1,0 +1,102 @@
+"""Unit tests for loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, MSELoss, Tensor, one_hot
+
+
+class TestOneHot:
+    def test_encoding(self):
+        encoded = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    def test_rejects_non_1d(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_empty_labels(self):
+        assert one_hot(np.array([], dtype=int), 4).shape == (0, 4)
+
+
+class TestMSELoss:
+    def test_zero_for_identical_inputs(self):
+        loss = MSELoss()(Tensor(np.ones((3, 2))), np.ones((3, 2)))
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(4, 3)), rng.normal(size=(4, 3))
+        assert MSELoss()(Tensor(a), b).item() == pytest.approx(((a - b) ** 2).mean())
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MSELoss()(Tensor(np.zeros((2, 2))), np.zeros((3, 2)))
+
+    def test_gradient(self):
+        pred = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        MSELoss()(pred, np.array([[0.0, 0.0]])).backward()
+        np.testing.assert_allclose(pred.grad, [[1.0, 2.0]])
+
+
+class TestCrossEntropyLoss:
+    def test_uniform_logits_give_log_num_classes(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = CrossEntropyLoss()(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_gives_near_zero_loss(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = CrossEntropyLoss()(Tensor(logits), np.array([1, 2]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_accepts_one_hot_targets(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([1, 3, 0])
+        a = CrossEntropyLoss()(Tensor(logits), labels).item()
+        b = CrossEntropyLoss()(Tensor(logits), one_hot(labels, 4)).item()
+        assert a == pytest.approx(b)
+
+    def test_rejects_non_2d_logits(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(Tensor(np.zeros(3)), np.array([0]))
+
+    def test_rejects_mismatched_targets(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(Tensor(np.zeros((2, 3))), np.zeros((2, 4)))
+
+    def test_label_smoothing_increases_loss_of_perfect_prediction(self):
+        logits = np.full((1, 3), -50.0)
+        logits[0, 0] = 50.0
+        plain = CrossEntropyLoss()(Tensor(logits), np.array([0])).item()
+        smoothed = CrossEntropyLoss(label_smoothing=0.2)(Tensor(logits), np.array([0])).item()
+        assert smoothed > plain
+
+    def test_invalid_label_smoothing(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(label_smoothing=1.0)
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        rng = np.random.default_rng(0)
+        logits_data = rng.normal(size=(2, 3))
+        logits = Tensor(logits_data, requires_grad=True)
+        labels = np.array([0, 2])
+        CrossEntropyLoss()(logits, labels).backward()
+        shifted = np.exp(logits_data - logits_data.max(axis=1, keepdims=True))
+        probs = shifted / shifted.sum(axis=1, keepdims=True)
+        expected = (probs - one_hot(labels, 3)) / 2
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-10)
+
+    def test_extreme_logits_are_stable(self):
+        logits = Tensor(np.array([[1e4, -1e4, 0.0]]))
+        loss = CrossEntropyLoss()(logits, np.array([0]))
+        assert np.isfinite(loss.item())

@@ -1,0 +1,107 @@
+"""Unit tests for SGD and Adam optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, CrossEntropyLoss, Linear, MSELoss, Parameter, ReLU, Sequential, Tensor
+
+
+def quadratic_step(optimizer_cls, steps=200, **kwargs):
+    """Minimise ||w - 3||^2 and return the final parameter value."""
+    param = Parameter(np.array([10.0]))
+    optimizer = optimizer_cls([param], **kwargs)
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = ((param - 3.0) * (param - 3.0)).sum()
+        loss.backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        assert quadratic_step(SGD, lr=0.1) == pytest.approx(3.0, abs=1e-3)
+
+    def test_momentum_converges(self):
+        assert quadratic_step(SGD, lr=0.05, momentum=0.9) == pytest.approx(3.0, abs=1e-3)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        optimizer.zero_grad()
+        (param * 0.0).sum().backward()
+        optimizer.step()
+        assert param.data[0] < 1.0
+
+    def test_skips_parameters_without_gradient(self):
+        param = Parameter(np.array([2.0]))
+        SGD([param], lr=0.1).step()
+        assert param.data[0] == pytest.approx(2.0)
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+
+    def test_rejects_empty_parameter_list(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        assert quadratic_step(Adam, lr=0.3) == pytest.approx(3.0, abs=1e-2)
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+    def test_zero_grad_resets_gradients(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param])
+        (param * 2).sum().backward()
+        optimizer.zero_grad()
+        assert param.grad is None
+
+    def test_trains_classifier_to_fit_small_dataset(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(60, 4))
+        labels = (features[:, 0] + features[:, 1] > 0).astype(int)
+        net = Sequential(Linear(4, 16, rng=rng), ReLU(), Linear(16, 2, rng=rng))
+        optimizer = Adam(net.parameters(), lr=0.01)
+        loss_fn = CrossEntropyLoss()
+        first_loss = None
+        for _ in range(150):
+            optimizer.zero_grad()
+            loss = loss_fn(net(Tensor(features)), labels)
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        predictions = net(Tensor(features)).data.argmax(axis=1)
+        assert (predictions == labels).mean() > 0.9
+        assert loss.item() < first_loss
+
+    def test_regression_converges(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 3))
+        target = x @ np.array([[1.0], [-2.0], [0.5]])
+        layer = Linear(3, 1, rng=rng)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = MSELoss()(layer(Tensor(x)), target)
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 1e-3
+
+    def test_weight_decay_applies(self):
+        param = Parameter(np.array([5.0]))
+        optimizer = Adam([param], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        (param * 0.0).sum().backward()
+        optimizer.step()
+        assert param.data[0] < 5.0

@@ -1,0 +1,85 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_dims=2, max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_addition_gradient_is_ones(data):
+    tensor = Tensor(data.copy(), requires_grad=True)
+    (tensor + 1.0).sum().backward()
+    np.testing.assert_allclose(tensor.grad, np.ones_like(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), st.floats(min_value=-3.0, max_value=3.0, allow_nan=False))
+def test_scalar_multiplication_gradient(data, scalar):
+    tensor = Tensor(data.copy(), requires_grad=True)
+    (tensor * scalar).sum().backward()
+    np.testing.assert_allclose(tensor.grad, np.full_like(data, scalar))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_then_mean_consistency(data):
+    tensor = Tensor(data.copy())
+    np.testing.assert_allclose(tensor.mean().item(), data.mean(), atol=1e-10)
+    np.testing.assert_allclose(tensor.sum().item(), data.sum(), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(dtype=np.float64, shape=(4, 6), elements=finite_floats))
+def test_softmax_is_a_probability_distribution(data):
+    probs = Tensor(data).softmax(axis=-1).data
+    assert (probs >= 0).all()
+    np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(dtype=np.float64, shape=(3, 4), elements=finite_floats))
+def test_relu_output_is_non_negative_and_gradient_binary(data):
+    tensor = Tensor(data.copy(), requires_grad=True)
+    out = tensor.relu()
+    assert (out.data >= 0).all()
+    out.sum().backward()
+    assert set(np.unique(tensor.grad)).issubset({0.0, 1.0})
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(dtype=np.float64, shape=(5,), elements=finite_floats))
+def test_clip_respects_bounds(data):
+    clipped = Tensor(data).clip(-1.0, 1.0).data
+    assert clipped.min() >= -1.0 and clipped.max() <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(dtype=np.float64, shape=(3, 4), elements=finite_floats),
+    arrays(dtype=np.float64, shape=(4, 2), elements=finite_floats),
+)
+def test_matmul_matches_numpy(a, b):
+    np.testing.assert_allclose(Tensor(a).matmul(Tensor(b)).data, a @ b, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(dtype=np.float64, shape=(2, 3), elements=finite_floats))
+def test_transpose_involution(data):
+    tensor = Tensor(data)
+    np.testing.assert_allclose(tensor.transpose().transpose().data, data)

@@ -1,0 +1,69 @@
+"""Unit tests for weight serialization and model introspection helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Linear,
+    ReLU,
+    Sequential,
+    Tensor,
+    count_parameters,
+    load_module,
+    load_state_dict,
+    model_size_bytes,
+    model_size_kilobytes,
+    parameter_breakdown,
+    save_module,
+    save_state_dict,
+    seed_everything,
+)
+
+
+class TestSerialization:
+    def test_round_trip_module(self, tmp_path):
+        source = Sequential(Linear(4, 8, rng=np.random.default_rng(0)), ReLU(), Linear(8, 2))
+        path = save_module(source, tmp_path / "weights.npz")
+        target = Sequential(Linear(4, 8, rng=np.random.default_rng(9)), ReLU(), Linear(8, 2))
+        load_module(target, path)
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        np.testing.assert_allclose(source(x).data, target(x).data)
+
+    def test_round_trip_state_dict(self, tmp_path):
+        state = {"a": np.arange(6.0).reshape(2, 3), "b": np.zeros(4)}
+        path = save_state_dict(state, tmp_path / "state")
+        loaded = load_state_dict(path)
+        assert set(loaded) == {"a", "b"}
+        np.testing.assert_allclose(loaded["a"], state["a"])
+
+    def test_load_without_npz_suffix(self, tmp_path):
+        save_state_dict({"x": np.ones(3)}, tmp_path / "model")
+        loaded = load_state_dict(tmp_path / "model")
+        np.testing.assert_allclose(loaded["x"], np.ones(3))
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_state_dict({"x": np.ones(1)}, tmp_path / "deep" / "nested" / "w.npz")
+        assert path.exists()
+
+
+class TestUtils:
+    def test_count_parameters(self):
+        net = Sequential(Linear(10, 5), Linear(5, 2))
+        assert count_parameters(net) == (10 * 5 + 5) + (5 * 2 + 2)
+
+    def test_parameter_breakdown_covers_all_parameters(self):
+        net = Sequential(Linear(4, 4), ReLU(), Linear(4, 2))
+        breakdown = parameter_breakdown(net)
+        assert sum(breakdown.values()) == count_parameters(net)
+
+    def test_model_size(self):
+        net = Sequential(Linear(10, 10))
+        assert model_size_bytes(net) == count_parameters(net) * 4
+        assert model_size_kilobytes(net) == pytest.approx(count_parameters(net) * 4 / 1000)
+
+    def test_seed_everything_is_reproducible(self):
+        a = seed_everything(123).normal(size=5)
+        b = seed_everything(123).normal(size=5)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,383 @@
+"""Unit tests for the autograd Tensor: forward values and gradients.
+
+Every differentiable operation is checked against a central-difference
+numerical gradient, which is the strongest single invariant of the substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, is_grad_enabled, no_grad
+
+
+def numerical_gradient(func, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``func`` (scalar output) w.r.t. ``array``."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = func(array)
+        flat[index] = original - eps
+        minus = func(array)
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, shape=(3, 4), seed=0, atol=1e-5):
+    """Compare autograd and numerical gradients for a scalar-valued ``build``."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape)
+    tensor = Tensor(data.copy(), requires_grad=True)
+    output = build(tensor)
+    output.backward()
+    numeric = numerical_gradient(lambda a: build(Tensor(a.copy())).item(), data.copy())
+    assert tensor.grad is not None
+    np.testing.assert_allclose(tensor.grad, numeric, atol=atol)
+
+
+class TestTensorBasics:
+    def test_wraps_data_as_float64(self):
+        tensor = Tensor([[1, 2], [3, 4]])
+        assert tensor.data.dtype == np.float64
+        assert tensor.shape == (2, 2)
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_len_and_size(self):
+        tensor = Tensor(np.zeros((5, 3)))
+        assert len(tensor) == 5
+        assert tensor.size == 15
+        assert tensor.ndim == 2
+
+    def test_item_on_scalar(self):
+        assert Tensor([2.5]).item() == pytest.approx(2.5)
+
+    def test_detach_breaks_graph(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        detached = tensor.detach()
+        assert not detached.requires_grad
+
+    def test_copy_is_independent(self):
+        tensor = Tensor([1.0, 2.0])
+        duplicate = tensor.copy()
+        duplicate.data[0] = 99.0
+        assert tensor.data[0] == 1.0
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_requires_scalar_without_gradient(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (tensor * 2).backward()
+
+    def test_zero_grad(self):
+        tensor = Tensor([1.0], requires_grad=True)
+        (tensor * 3).backward()
+        assert tensor.grad is not None
+        tensor.zero_grad()
+        assert tensor.grad is None
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        with no_grad():
+            tensor = Tensor([1.0], requires_grad=True)
+            assert not tensor.requires_grad
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        try:
+            with no_grad():
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert is_grad_enabled()
+
+    def test_operations_inside_no_grad_do_not_track(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        with no_grad():
+            result = tensor * 2 + 1
+        assert not result.requires_grad
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        check_gradient(lambda t: (t + 3.0).sum())
+
+    def test_radd(self):
+        check_gradient(lambda t: (3.0 + t).sum())
+
+    def test_sub(self):
+        check_gradient(lambda t: (t - 1.5).sum())
+
+    def test_rsub(self):
+        check_gradient(lambda t: (1.5 - t).sum())
+
+    def test_mul(self):
+        check_gradient(lambda t: (t * t).sum())
+
+    def test_div(self):
+        check_gradient(lambda t: (t / 2.5).sum(), shape=(2, 3))
+
+    def test_rdiv(self):
+        check_gradient(lambda t: (1.0 / (t + 10.0)).sum())
+
+    def test_neg(self):
+        check_gradient(lambda t: (-t).sum())
+
+    def test_pow(self):
+        check_gradient(lambda t: ((t + 10.0) ** 3).sum())
+
+    def test_pow_requires_scalar_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_broadcast_add_gradient(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_broadcast_mul_gradient(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.array([[2.0], [3.0]]), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.repeat([[2.0], [3.0]], 3, axis=1))
+        np.testing.assert_allclose(b.grad, np.full((2, 1), 3.0))
+
+    def test_same_tensor_used_twice_accumulates(self):
+        tensor = Tensor([2.0], requires_grad=True)
+        (tensor * tensor).backward()
+        np.testing.assert_allclose(tensor.grad, [4.0])
+
+
+class TestMatmulGradients:
+    def test_matrix_matrix(self):
+        rng = np.random.default_rng(1)
+        other = rng.normal(size=(4, 2))
+        check_gradient(lambda t: (t.matmul(Tensor(other))).sum(), shape=(3, 4))
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2), requires_grad=True)
+        b = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        (a @ b).sum().backward()
+        assert a.grad.shape == (2, 2)
+
+    def test_matmul_gradient_of_second_operand(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(3, 4))
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        Tensor(a).matmul(b).sum().backward()
+        np.testing.assert_allclose(b.grad, a.T @ np.ones((3, 2)), atol=1e-10)
+
+    def test_batched_matmul(self):
+        rng = np.random.default_rng(3)
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 5)), requires_grad=True)
+        out = a.matmul(b)
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (2, 4, 5)
+
+    def test_vector_matrix(self):
+        rng = np.random.default_rng(4)
+        m = rng.normal(size=(4, 3))
+        check_gradient(lambda t: t.matmul(Tensor(m)).sum(), shape=(4,))
+
+
+class TestShapeOps:
+    def test_reshape_gradient(self):
+        check_gradient(lambda t: (t.reshape(12) * 2).sum(), shape=(3, 4))
+
+    def test_reshape_with_tuple(self):
+        tensor = Tensor(np.arange(6.0))
+        assert tensor.reshape((2, 3)).shape == (2, 3)
+
+    def test_transpose_gradient(self):
+        check_gradient(lambda t: (t.transpose() * 3).sum(), shape=(2, 5))
+
+    def test_transpose_with_axes(self):
+        tensor = Tensor(np.zeros((2, 3, 4)), requires_grad=True)
+        out = tensor.transpose(0, 2, 1)
+        assert out.shape == (2, 4, 3)
+        out.sum().backward()
+        assert tensor.grad.shape == (2, 3, 4)
+
+    def test_swapaxes(self):
+        check_gradient(lambda t: t.swapaxes(0, 1).sum(), shape=(3, 2))
+
+    def test_getitem_gradient(self):
+        tensor = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        tensor[1].sum().backward()
+        expected = np.zeros((3, 4))
+        expected[1] = 1.0
+        np.testing.assert_allclose(tensor.grad, expected)
+
+    def test_getitem_slice_gradient(self):
+        tensor = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        tensor[:, 1:3].sum().backward()
+        expected = np.zeros((3, 4))
+        expected[:, 1:3] = 1.0
+        np.testing.assert_allclose(tensor.grad, expected)
+
+    def test_flatten(self):
+        tensor = Tensor(np.zeros((2, 3, 4)))
+        assert tensor.flatten().shape == (2, 12)
+
+    def test_concatenate_gradient(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        (out * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((3, 2), 2.0))
+
+    def test_stack_gradient(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        out = Tensor.stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, np.ones(3))
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_gradient(lambda t: t.sum())
+
+    def test_sum_axis(self):
+        check_gradient(lambda t: (t.sum(axis=0) * 2).sum())
+
+    def test_sum_keepdims(self):
+        tensor = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = tensor.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones((2, 3)))
+
+    def test_mean_all(self):
+        check_gradient(lambda t: t.mean())
+
+    def test_mean_axis(self):
+        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum())
+
+    def test_max_all(self):
+        tensor = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        tensor.max().backward()
+        np.testing.assert_allclose(tensor.grad, [0.0, 1.0, 0.0])
+
+    def test_max_axis(self):
+        tensor = Tensor(np.array([[1.0, 2.0], [4.0, 3.0]]), requires_grad=True)
+        tensor.max(axis=1).sum().backward()
+        np.testing.assert_allclose(tensor.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_min(self):
+        tensor = Tensor(np.array([2.0, -1.0, 3.0]), requires_grad=True)
+        out = tensor.min()
+        assert out.item() == pytest.approx(-1.0)
+
+
+class TestNonLinearities:
+    def test_exp(self):
+        check_gradient(lambda t: t.exp().sum())
+
+    def test_log(self):
+        check_gradient(lambda t: (t + 10.0).log().sum())
+
+    def test_sqrt(self):
+        check_gradient(lambda t: (t + 10.0).sqrt().sum())
+
+    def test_tanh(self):
+        check_gradient(lambda t: t.tanh().sum())
+
+    def test_sigmoid(self):
+        check_gradient(lambda t: t.sigmoid().sum())
+
+    def test_relu_forward(self):
+        tensor = Tensor([-1.0, 0.5])
+        np.testing.assert_allclose(tensor.relu().data, [0.0, 0.5])
+
+    def test_relu_gradient(self):
+        tensor = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        tensor.relu().sum().backward()
+        np.testing.assert_allclose(tensor.grad, [0.0, 1.0])
+
+    def test_leaky_relu(self):
+        tensor = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        tensor.leaky_relu(0.1).sum().backward()
+        np.testing.assert_allclose(tensor.grad, [0.1, 1.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        tensor = Tensor(np.random.default_rng(0).normal(size=(4, 6)))
+        probs = tensor.softmax(axis=-1).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4))
+
+    def test_softmax_gradient(self):
+        check_gradient(lambda t: (t.softmax(axis=-1) ** 2).sum(), shape=(2, 5))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        data = np.random.default_rng(1).normal(size=(3, 4))
+        np.testing.assert_allclose(
+            Tensor(data).log_softmax(axis=-1).data,
+            np.log(Tensor(data).softmax(axis=-1).data),
+            atol=1e-10,
+        )
+
+    def test_log_softmax_gradient(self):
+        check_gradient(lambda t: (t.log_softmax(axis=-1) * 0.3).sum(), shape=(2, 4))
+
+    def test_softmax_is_numerically_stable(self):
+        tensor = Tensor(np.array([[1000.0, 1000.0], [-1000.0, -1000.0]]))
+        probs = tensor.softmax(axis=-1).data
+        assert np.isfinite(probs).all()
+
+    def test_clip_gradient(self):
+        tensor = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        tensor.clip(0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(tensor.grad, [0.0, 1.0, 0.0])
+
+    def test_abs(self):
+        tensor = Tensor(np.array([-3.0, 2.0]), requires_grad=True)
+        tensor.abs().sum().backward()
+        np.testing.assert_allclose(tensor.grad, [-1.0, 1.0])
+
+    def test_dropout_eval_like_passthrough_at_zero_rate(self):
+        tensor = Tensor(np.ones((2, 2)))
+        out = tensor.dropout(0.0, np.random.default_rng(0))
+        np.testing.assert_allclose(out.data, tensor.data)
+
+    def test_dropout_rejects_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones(3)).dropout(1.0, np.random.default_rng(0))
+
+
+class TestEndToEndGradients:
+    def test_two_layer_network_input_gradient(self):
+        rng = np.random.default_rng(7)
+        w1 = Tensor(rng.normal(size=(5, 8)))
+        w2 = Tensor(rng.normal(size=(8, 1)))
+
+        def network(t: Tensor) -> Tensor:
+            return (t.matmul(w1).tanh().matmul(w2)).sum()
+
+        check_gradient(network, shape=(4, 5), seed=8)
+
+    def test_gradient_accumulates_across_multiple_backwards(self):
+        tensor = Tensor([1.0], requires_grad=True)
+        (tensor * 2).backward()
+        (tensor * 3).backward()
+        np.testing.assert_allclose(tensor.grad, [5.0])

@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` reproduction CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import EvaluationConfig
+from repro.reproduce import ARTEFACTS, build_parser, main, run_artefact
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.artefact == "all"
+        assert args.profile == "quick"
+        assert args.output_dir is None
+
+    def test_rejects_unknown_artefact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--artefact", "fig99"])
+
+    def test_artefact_registry_covers_every_paper_artefact(self):
+        assert set(ARTEFACTS) == {
+            "table1",
+            "table2",
+            "table3",
+            "fig1",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "ablation",
+        }
+
+
+class TestExecution:
+    def test_run_table_artefact_writes_output(self, tmp_path):
+        text = run_artefact("table1", EvaluationConfig.quick(), tmp_path)
+        assert "Oneplus" in text
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_main_with_cheap_artefact(self, capsys, tmp_path):
+        exit_code = main(["--artefact", "table3", "--output-dir", str(tmp_path)])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "table3" in captured.out
+        assert (tmp_path / "table3.txt").exists()
