@@ -13,8 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks import ThreatModel, attack_dataset, make_attack
-from repro.core import CALLOC
+from repro import make_attack, make_localizer
+from repro.attacks import ThreatModel, attack_dataset
 from repro.data import CampaignConfig, collect_campaign, paper_building
 from repro.eval import ascii_table
 
@@ -24,7 +24,7 @@ def main() -> None:
     campaign = collect_campaign(building, CampaignConfig(seed=5))
     print(f"Building 3: {campaign.num_aps} APs, {campaign.num_classes} reference points")
 
-    calloc = CALLOC(epochs_per_lesson=8, seed=0)
+    calloc = make_localizer("CALLOC", epochs_per_lesson=8, seed=0)
     calloc.fit(campaign.train)
     online = campaign.test_all_devices()
     print(f"Clean mean error over all devices: {calloc.mean_error(online):.2f} m\n")

@@ -2,22 +2,26 @@
 """Quickstart: train CALLOC on a simulated building and localize under attack.
 
 This example walks through the full offline/online pipeline of the paper on a
-single building:
+single building, entirely through the public API:
 
 1. simulate a fingerprint collection campaign (offline phase, OP3 device);
-2. train the CALLOC localizer with its adversarial curriculum;
+2. stand up a :class:`~repro.api.LocalizationService` around CALLOC (any
+   registered model name works — see ``python -m repro list-models``);
 3. localize online fingerprints from a different smartphone — first clean,
    then under a white-box FGSM man-in-the-middle attack;
-4. compare against an undefended DNN baseline.
+4. compare against an undefended DNN baseline built from the same registry;
+5. save the fitted service and reload it bit-for-bit.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.attacks import FGSMAttack, ThreatModel, attack_dataset
-from repro.baselines import DNNLocalizer
-from repro.core import CALLOC
+import tempfile
+from pathlib import Path
+
+from repro import LocalizationService, make_attack, make_localizer
+from repro.attacks import ThreatModel, attack_dataset
 from repro.data import CampaignConfig, collect_campaign, paper_building
 
 
@@ -33,38 +37,56 @@ def main() -> None:
     print()
 
     # ------------------------------------------------------------------
-    # Train CALLOC through its 10-lesson adversarial curriculum.
+    # Train CALLOC through its 10-lesson adversarial curriculum, behind the
+    # online-serving facade.
     # ------------------------------------------------------------------
-    calloc = CALLOC(epochs_per_lesson=8, seed=0)
-    calloc.fit(campaign.train)
+    service = LocalizationService(
+        "CALLOC", params={"epochs_per_lesson": 8, "seed": 0}
+    )
+    service.fit(campaign.train)
+    calloc = service.localizer
     print("CALLOC curriculum training summary:")
     print(calloc.training_report.summary())
     print()
     print("Trainable parameter budget:", calloc.parameter_report())
     print()
 
-    # An undefended DNN baseline trained on the same database.
-    dnn = DNNLocalizer(epochs=40, seed=0)
+    # An undefended DNN baseline trained on the same database, built by name.
+    dnn = make_localizer("DNN", epochs=40, seed=0)
     dnn.fit(campaign.train)
 
     # ------------------------------------------------------------------
     # Online phase: localize scans from a different smartphone (Galaxy S7).
     # ------------------------------------------------------------------
     online = campaign.test_for("S7")
+    result = service.localize(online)
     print(f"Clean online fingerprints ({online.num_samples} scans from S7):")
-    print(f"  CALLOC mean error: {calloc.mean_error(online):.2f} m")
-    print(f"  DNN    mean error: {dnn.mean_error(online):.2f} m")
+    print(
+        f"  CALLOC mean error: {service.evaluate(online).mean:.2f} m "
+        f"(mean self-estimate {result.error_estimate.mean():.2f} m)"
+    )
+    print(f"  DNN    mean error: {dnn.error_summary(online).mean:.2f} m")
     print()
 
     # ------------------------------------------------------------------
     # Channel-side MITM attack: FGSM perturbations on 50% of the APs.
     # ------------------------------------------------------------------
     threat = ThreatModel(epsilon=0.3, phi_percent=50.0, seed=3)
-    attacked_for_calloc = attack_dataset(online, FGSMAttack(threat), calloc)
-    attacked_for_dnn = attack_dataset(online, FGSMAttack(threat), dnn)
+    attacked_for_calloc = attack_dataset(online, make_attack("FGSM", threat), calloc)
+    attacked_for_dnn = attack_dataset(online, make_attack("FGSM", threat), dnn)
     print("Under white-box FGSM attack (epsilon=0.3, phi=50% of APs):")
-    print(f"  CALLOC mean error: {calloc.mean_error(attacked_for_calloc):.2f} m")
-    print(f"  DNN    mean error: {dnn.mean_error(attacked_for_dnn):.2f} m")
+    print(f"  CALLOC mean error: {service.evaluate(attacked_for_calloc).mean:.2f} m")
+    print(f"  DNN    mean error: {dnn.error_summary(attacked_for_dnn).mean:.2f} m")
+    print()
+
+    # ------------------------------------------------------------------
+    # Persist the fitted service and reload it: identical predictions.
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = service.save(Path(tmp) / "calloc_service.npz")
+        restored = LocalizationService.load(path)
+        same = (restored.localize(online).labels == result.labels).all()
+        print(f"Saved to {path.name}; reloaded predictions identical: {bool(same)}")
 
 
 if __name__ == "__main__":

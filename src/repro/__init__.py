@@ -13,18 +13,75 @@ Localization.  The package provides:
 * :mod:`repro.baselines` — the state-of-the-art localizers CALLOC is compared
   against (KNN, GPC, DNN, CNN, AdvLoc, ANVIL, SANGRIA, WiDeep, ...);
 * :mod:`repro.eval` — metrics, scenario grids and the experiment harness that
-  regenerates every table and figure of the paper's evaluation.
+  regenerates every table and figure of the paper's evaluation;
+* :mod:`repro.registry` — the plugin registry every model and attack is
+  published through (``@register_localizer`` / ``@register_attack``,
+  :func:`make_localizer` / :func:`make_attack`);
+* :mod:`repro.api` — the declarative entry point: serializable
+  :class:`ExperimentSpec` experiments executed by
+  :func:`run_experiment` / :meth:`ExperimentRunner.run`, and the
+  :class:`LocalizationService` facade for the online phase.
+
+Quickstart::
+
+    from repro import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec.from_dict({
+        "profile": "quick",
+        "models": ["CALLOC", "KNN"],
+        "buildings": ["Building 1"],
+    })
+    results = run_experiment(spec)
+    print(results.error_summary())
+
+The same experiments are reachable from the command line via
+``python -m repro`` (``list-models``, ``list-attacks``, ``artefact``, ``run``).
 """
 
+from .api import (
+    ExperimentSpec,
+    LocalizationResult,
+    LocalizationService,
+    ModelSpec,
+    run_experiment,
+)
 from .core import CALLOC
-from .interfaces import DifferentiableLocalizer, Localizer, localization_errors
+from .eval import ExperimentRunner, ResultSet
+from .interfaces import (
+    DifferentiableLocalizer,
+    ErrorSummary,
+    Localizer,
+    localization_errors,
+)
+from .registry import (
+    available_attacks,
+    available_localizers,
+    make_attack,
+    make_localizer,
+    register_attack,
+    register_localizer,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CALLOC",
     "Localizer",
     "DifferentiableLocalizer",
+    "ErrorSummary",
     "localization_errors",
+    "ModelSpec",
+    "ExperimentSpec",
+    "ExperimentRunner",
+    "ResultSet",
+    "run_experiment",
+    "LocalizationService",
+    "LocalizationResult",
+    "register_localizer",
+    "register_attack",
+    "make_localizer",
+    "make_attack",
+    "available_localizers",
+    "available_attacks",
     "__version__",
 ]

@@ -1,0 +1,477 @@
+"""Declarative experiment specs and the online localization service facade.
+
+This module is the programmatic entry point of the library.  It turns "train
+X, attack it with Y, evaluate on Z" into *data*:
+
+* :class:`ModelSpec` / :class:`ExperimentSpec` — a serializable description
+  of an experiment (models, buildings, devices, attack scenarios, profile),
+  round-trippable through ``to_dict``/``from_dict`` and JSON;
+* :func:`run_experiment` — executes a spec through
+  :class:`~repro.eval.runner.ExperimentRunner` and returns a
+  :class:`~repro.eval.runner.ResultSet`;
+* :class:`LocalizationService` — the online-phase facade: ``fit`` once, then
+  ``localize`` batches of fingerprints into coordinates plus an error
+  estimate, and ``save``/``load`` the fitted model through
+  :mod:`repro.nn.serialization`.
+
+Models and attacks are referenced by their :mod:`repro.registry` names, so
+anything registered with ``@register_localizer`` / ``@register_attack`` is
+immediately scriptable::
+
+    spec = ExperimentSpec.from_dict({
+        "profile": "quick",
+        "models": ["CALLOC", {"name": "DNN", "params": {"epochs": 40}}],
+        "buildings": ["Building 1"],
+    })
+    results = run_experiment(spec)
+    print(results.error_summary())
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .data.fingerprint import FingerprintDataset
+from .eval.runner import ExperimentRunner, ResultSet
+from .eval.scenarios import AttackScenario, EvaluationConfig
+from .interfaces import ErrorSummary, Localizer
+from .nn.serialization import load_state_dict, save_state_dict
+from .registry import LOCALIZERS, make_localizer
+
+__all__ = [
+    "PROFILES",
+    "ModelSpec",
+    "ExperimentSpec",
+    "default_model_params",
+    "model_factory",
+    "run_experiment",
+    "LocalizationResult",
+    "LocalizationService",
+]
+
+PathLike = Union[str, Path]
+
+#: Evaluation-profile factories by name (see :class:`EvaluationConfig`).
+PROFILES: Dict[str, Callable[[], EvaluationConfig]] = {
+    "quick": EvaluationConfig.quick,
+    "standard": EvaluationConfig.standard,
+    "full": EvaluationConfig.full,
+}
+
+
+# ----------------------------------------------------------------------
+# Profile-tuned model defaults
+# ----------------------------------------------------------------------
+def default_model_params(name: str, config: EvaluationConfig) -> Dict[str, Any]:
+    """Profile-tuned constructor defaults for a registered localizer.
+
+    This is the single source of the per-profile tuning every entry point
+    shares: the legacy ``calloc_factory``/``baseline_factories`` helpers, the
+    declarative :class:`ExperimentSpec` path and the CLI all build models
+    through it, which is what keeps their numbers identical.
+    """
+    epochs = config.baseline_epochs
+    seed = config.model_seed
+    defaults: Dict[str, Dict[str, Any]] = {
+        "CALLOC": {"epochs_per_lesson": config.epochs_per_lesson, "seed": seed},
+        "AdvLoc": {"epochs": epochs, "seed": seed},
+        "SANGRIA": {"pretrain_epochs": max(10, epochs // 3), "num_rounds": 10, "seed": seed},
+        "ANVIL": {"epochs": epochs, "seed": seed},
+        "WiDeep": {"pretrain_epochs": max(10, epochs // 3), "seed": seed},
+        "DNN": {"epochs": epochs, "seed": seed},
+        "CNN": {"epochs": epochs, "seed": seed},
+    }
+    return dict(defaults.get(LOCALIZERS.resolve(name), {}))
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One model entry of an :class:`ExperimentSpec`.
+
+    ``name`` is the registry name; ``params`` override the profile-tuned
+    defaults; ``label`` is the name used in result records (defaults to
+    ``name``), letting one registry entry appear twice under different
+    settings (e.g. CALLOC vs its "NC" no-curriculum ablation).
+    """
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    @property
+    def display_name(self) -> str:
+        return self.label or self.name
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"name": self.name}
+        if self.params:
+            data["params"] = dict(self.params)
+        if self.label:
+            data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Union[str, Mapping[str, Any]]) -> "ModelSpec":
+        """Build from a mapping, or from a bare registry name."""
+        if isinstance(data, str):
+            return cls(name=data)
+        if isinstance(data, ModelSpec):
+            return data
+        return cls(
+            name=data["name"],
+            params=dict(data.get("params", {})),
+            label=data.get("label"),
+        )
+
+
+def model_factory(
+    spec: Union[str, ModelSpec], config: EvaluationConfig
+) -> Callable[[], Localizer]:
+    """Zero-argument factory building ``spec``'s model tuned to ``config``."""
+    spec = ModelSpec.from_dict(spec) if not isinstance(spec, ModelSpec) else spec
+    params = default_model_params(spec.name, config)
+    params.update(spec.params)
+    name = spec.name
+
+    def build() -> Localizer:
+        return make_localizer(name, **params)
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# Experiment specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative, serializable experiment description.
+
+    ``None`` fields fall back to the profile's grid: ``buildings``/``devices``
+    default to the :class:`EvaluationConfig` values, and the attack grid is
+    either given explicitly via ``scenarios`` or expanded from the profile's
+    ε/ø sweep restricted by ``attack_methods``/``epsilons``/``phi_percents``.
+    """
+
+    models: Tuple[ModelSpec, ...] = ()
+    profile: str = "quick"
+    buildings: Optional[Tuple[str, ...]] = None
+    devices: Optional[Tuple[str, ...]] = None
+    scenarios: Optional[Tuple[AttackScenario, ...]] = None
+    attack_methods: Optional[Tuple[str, ...]] = None
+    epsilons: Optional[Tuple[float, ...]] = None
+    phi_percents: Optional[Tuple[float, ...]] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "models", tuple(ModelSpec.from_dict(m) for m in self.models)
+        )
+        for attr in ("buildings", "devices", "attack_methods", "epsilons", "phi_percents"):
+            value = getattr(self, attr)
+            if value is not None:
+                object.__setattr__(self, attr, tuple(value))
+        if self.scenarios is not None:
+            object.__setattr__(
+                self,
+                "scenarios",
+                tuple(
+                    s if isinstance(s, AttackScenario) else AttackScenario(**dict(s))
+                    for s in self.scenarios
+                ),
+            )
+        if self.profile not in PROFILES:
+            raise ValueError(
+                f"unknown profile '{self.profile}'; expected one of {sorted(PROFILES)}"
+            )
+
+    # -- resolution -----------------------------------------------------
+    def config(self) -> EvaluationConfig:
+        """The :class:`EvaluationConfig` this spec's profile names."""
+        return PROFILES[self.profile]()
+
+    def resolve_factories(
+        self, config: EvaluationConfig
+    ) -> Dict[str, Callable[[], Localizer]]:
+        """Display-name → factory mapping for every model in the spec."""
+        if not self.models:
+            raise ValueError("experiment spec declares no models")
+        factories: Dict[str, Callable[[], Localizer]] = {}
+        for model in self.models:
+            if model.display_name in factories:
+                raise ValueError(
+                    f"duplicate model label '{model.display_name}' in experiment spec"
+                )
+            factories[model.display_name] = model_factory(model, config)
+        return factories
+
+    def resolve_scenarios(self, config: EvaluationConfig) -> List[AttackScenario]:
+        """The attack grid: explicit scenarios, or the profile sweep."""
+        if self.scenarios is not None:
+            return list(self.scenarios)
+        return config.scenarios(
+            methods=self.attack_methods,
+            epsilons=self.epsilons,
+            phi_percents=self.phi_percents,
+        )
+
+    def validate(self) -> "ExperimentSpec":
+        """Fail fast on unknown model names; returns self for chaining."""
+        for model in self.models:
+            LOCALIZERS.resolve(model.name)
+        return self
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "profile": self.profile,
+            "models": [m.to_dict() for m in self.models],
+        }
+        if self.name:
+            data["name"] = self.name
+        for attr in ("buildings", "devices", "attack_methods", "epsilons", "phi_percents"):
+            value = getattr(self, attr)
+            if value is not None:
+                data[attr] = list(value)
+        if self.scenarios is not None:
+            data["scenarios"] = [
+                {
+                    "method": s.method,
+                    "epsilon": s.epsilon,
+                    "phi_percent": s.phi_percent,
+                    "variant": s.variant,
+                    "seed": s.seed,
+                }
+                for s in self.scenarios
+            ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        known = {
+            "models",
+            "profile",
+            "buildings",
+            "devices",
+            "scenarios",
+            "attack_methods",
+            "epsilons",
+            "phi_percents",
+            "name",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown experiment spec fields {sorted(unknown)}; expected {sorted(known)}"
+            )
+        kwargs = {key: data[key] for key in known if key in data}
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ExperimentSpec":
+        return cls.from_json(Path(path).read_text())
+
+    def with_models(self, *names: Union[str, ModelSpec]) -> "ExperimentSpec":
+        """Copy of this spec with a different model list."""
+        return replace(self, models=tuple(ModelSpec.from_dict(n) for n in names))
+
+
+def run_experiment(
+    spec: ExperimentSpec, config: Optional[EvaluationConfig] = None
+) -> ResultSet:
+    """Execute a declarative experiment spec and return its results.
+
+    ``config`` overrides the spec's profile when given (the runner's cache of
+    simulated campaigns can then be shared across specs by reusing one
+    :class:`ExperimentRunner` via :meth:`ExperimentRunner.run`).
+    """
+    spec.validate()
+    runner = ExperimentRunner(config or spec.config())
+    return runner.run(spec)
+
+
+# ----------------------------------------------------------------------
+# Online-phase facade
+# ----------------------------------------------------------------------
+@dataclass
+class LocalizationResult:
+    """Batched online-phase output: one row per query fingerprint."""
+
+    #: Predicted reference-point class per query, shape ``(n,)``.
+    labels: np.ndarray
+    #: Predicted coordinates in meters, shape ``(n, 2)``.
+    coordinates: np.ndarray
+    #: Expected localization error in meters (distance to the predicted
+    #: point, weighted by the model's class probabilities); ``NaN`` when the
+    #: model exposes no probabilities.
+    error_estimate: np.ndarray
+    #: Class probabilities, shape ``(n, num_classes)``, when available.
+    probabilities: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return int(self.labels.shape[0])
+
+
+class LocalizationService:
+    """Facade for serving a localizer online: fit, localize batches, persist.
+
+    Parameters
+    ----------
+    model:
+        Registry name of the localizer (``"CALLOC"`` by default).
+    params:
+        Constructor overrides for the model.
+    batch_size:
+        Queries per prediction chunk; every request — single fingerprint or
+        campaign-sized array — flows through the same batched code path.
+    """
+
+    def __init__(
+        self,
+        model: str = "CALLOC",
+        params: Optional[Mapping[str, Any]] = None,
+        batch_size: int = 512,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.model_name = LOCALIZERS.resolve(model)
+        self.params: Dict[str, Any] = dict(params or {})
+        self.batch_size = batch_size
+        self.localizer: Localizer = make_localizer(self.model_name, **self.params)
+        self._rp_positions: Optional[np.ndarray] = None
+
+    # -- offline phase --------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self._rp_positions is not None
+
+    def fit(self, dataset: FingerprintDataset) -> "LocalizationService":
+        """Train the underlying model on the offline fingerprint database."""
+        self.localizer.fit(dataset)
+        self._rp_positions = np.asarray(dataset.rp_positions, dtype=np.float64)
+        return self
+
+    # -- online phase ---------------------------------------------------
+    def localize(
+        self, batch: Union[FingerprintDataset, np.ndarray, Sequence[Sequence[float]]]
+    ) -> LocalizationResult:
+        """Predict coordinates (and an error estimate) for a batch of queries.
+
+        ``batch`` is either a :class:`FingerprintDataset` or an array of
+        normalised fingerprints, shape ``(n, num_aps)`` (a single fingerprint
+        of shape ``(num_aps,)`` is promoted to a batch of one).
+        """
+        if not self.is_fitted:
+            raise RuntimeError("LocalizationService must be fitted (or loaded) first")
+        if isinstance(batch, FingerprintDataset):
+            features = batch.features
+        else:
+            features = np.asarray(batch, dtype=np.float64)
+            if features.ndim == 1:
+                features = features[None, :]
+        labels_parts: List[np.ndarray] = []
+        proba_parts: List[np.ndarray] = []
+        for start in range(0, features.shape[0], self.batch_size):
+            chunk = features[start : start + self.batch_size]
+            proba = None
+            predict_proba = getattr(self.localizer, "predict_proba", None)
+            if callable(predict_proba):
+                proba = predict_proba(chunk)
+            if proba is None:
+                labels_parts.append(np.asarray(self.localizer.predict(chunk)))
+            else:
+                proba = np.asarray(proba, dtype=np.float64)
+                proba_parts.append(proba)
+                labels_parts.append(proba.argmax(axis=1))
+        labels = (
+            np.concatenate(labels_parts)
+            if labels_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        probabilities = np.concatenate(proba_parts) if proba_parts else None
+        coordinates = self._rp_positions[labels]
+        if probabilities is not None:
+            # Expected distance from the predicted point under the class
+            # distribution: 0 when fully confident, grows with ambiguity.
+            deltas = coordinates[:, None, :] - self._rp_positions[None, :, :]
+            distances = np.sqrt((deltas ** 2).sum(axis=2))
+            error_estimate = (probabilities * distances).sum(axis=1)
+        else:
+            error_estimate = np.full(labels.shape[0], np.nan)
+        return LocalizationResult(
+            labels=labels,
+            coordinates=coordinates,
+            error_estimate=error_estimate,
+            probabilities=probabilities,
+        )
+
+    def evaluate(self, dataset: FingerprintDataset) -> ErrorSummary:
+        """Mean/worst-case error on a labelled dataset (one prediction pass)."""
+        return self.localizer.error_summary(dataset)
+
+    # -- persistence ----------------------------------------------------
+    def save(self, path: PathLike) -> Path:
+        """Persist the fitted service as one ``.npz`` archive.
+
+        Requires the underlying localizer to implement the state-array
+        protocol (``state_arrays``/``load_state_arrays``), as CALLOC and KNN
+        do.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("cannot save an unfitted LocalizationService")
+        state_arrays = getattr(self.localizer, "state_arrays", None)
+        if not callable(state_arrays):
+            raise TypeError(
+                f"localizer '{self.model_name}' does not support persistence "
+                "(missing state_arrays/load_state_arrays)"
+            )
+        meta = {
+            "model": self.model_name,
+            "params": self.params,
+            "batch_size": self.batch_size,
+        }
+        arrays: Dict[str, np.ndarray] = {"service/meta": np.array(json.dumps(meta))}
+        arrays["service/rp_positions"] = self._rp_positions
+        arrays.update(
+            {f"model/{name}": value for name, value in state_arrays().items()}
+        )
+        return save_state_dict(arrays, path)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "LocalizationService":
+        """Rebuild a fitted service from a :meth:`save` archive."""
+        arrays = load_state_dict(path)
+        meta = json.loads(str(np.asarray(arrays["service/meta"]).item()))
+        service = cls(
+            model=meta["model"],
+            params=meta["params"],
+            batch_size=meta["batch_size"],
+        )
+        prefix = "model/"
+        model_arrays = {
+            name[len(prefix):]: value
+            for name, value in arrays.items()
+            if name.startswith(prefix)
+        }
+        service.localizer.load_state_arrays(model_arrays)
+        service._rp_positions = np.asarray(
+            arrays["service/rp_positions"], dtype=np.float64
+        )
+        return service

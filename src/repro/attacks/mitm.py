@@ -22,6 +22,7 @@ from typing import Dict, Optional, Type
 import numpy as np
 
 from ..data.fingerprint import FingerprintDataset, denormalize_rss, normalize_rss
+from ..registry import ATTACKS, register_attack
 from .base import Attack, GradientProvider, ThreatModel
 from .fgsm import FGSMAttack
 from .mim import MIMAttack
@@ -36,7 +37,9 @@ __all__ = [
     "attack_dataset",
 ]
 
-#: Crafting methods available to the MITM adversary, by name.
+#: Deprecated shim: crafting methods by name.  The source of truth is now
+#: :data:`repro.registry.ATTACKS`; register new methods with
+#: ``@register_attack(name, tags=("crafting",))`` instead of editing a dict.
 ATTACK_REGISTRY: Dict[str, Type[Attack]] = {
     "FGSM": FGSMAttack,
     "PGD": PGDAttack,
@@ -45,13 +48,16 @@ ATTACK_REGISTRY: Dict[str, Type[Attack]] = {
 
 
 def make_attack(method: str, threat_model: ThreatModel, **kwargs) -> Attack:
-    """Instantiate an attack crafting method by name (``"FGSM"``/``"PGD"``/``"MIM"``)."""
-    key = method.upper()
-    if key not in ATTACK_REGISTRY:
-        raise KeyError(f"unknown attack '{method}'; expected one of {sorted(ATTACK_REGISTRY)}")
-    return ATTACK_REGISTRY[key](threat_model, **kwargs)
+    """Deprecated shim for :func:`repro.registry.make_attack`.
+
+    Kept so existing call sites (``make_attack("FGSM", threat)``) continue to
+    work; lookups are case-insensitive and unknown names raise
+    :class:`~repro.registry.RegistryError` (a :class:`KeyError`), as before.
+    """
+    return ATTACKS.create(method, threat_model, **kwargs)
 
 
+@register_attack("MITM-manipulation", tags=("mitm",), aliases=("manipulation",))
 class SignalManipulationAttack(Attack):
     """MITM signal manipulation: perturb the genuine RSS of targeted APs."""
 
@@ -71,6 +77,7 @@ class SignalManipulationAttack(Attack):
         return self.crafter.perturb(features, labels, victim, target_mask=target_mask)
 
 
+@register_attack("MITM-spoofing", tags=("mitm",), aliases=("spoofing",))
 class SignalSpoofingAttack(Attack):
     """MITM signal spoofing: replace targeted APs with counterfeit signals.
 

@@ -12,11 +12,13 @@ from typing import Optional
 
 import numpy as np
 
+from ..registry import register_attack
 from .base import Attack, GradientProvider, ThreatModel
 
 __all__ = ["PGDAttack"]
 
 
+@register_attack("PGD", tags=("crafting",))
 class PGDAttack(Attack):
     """Multi-step projected sign-gradient attack."""
 

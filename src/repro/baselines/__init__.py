@@ -9,6 +9,7 @@ autoencoders).  :func:`make_baseline` builds any of them by name.
 from typing import Callable, Dict
 
 from ..interfaces import DifferentiableLocalizer, Localizer
+from ..registry import make_localizer
 from .advloc import AdvLocLocalizer
 from .anvil import ANVILLocalizer
 from .autoencoder import DenoisingAutoencoder, StackedAutoencoder
@@ -43,7 +44,10 @@ __all__ = [
     "make_baseline",
 ]
 
-#: Factories for every baseline, keyed by the name used in the paper's figures.
+#: Deprecated shim: baseline factories keyed by figure/paper name.  The source
+#: of truth is now :data:`repro.registry.LOCALIZERS`; register new baselines
+#: with ``@register_localizer(name, tags=("baseline",))`` instead of editing
+#: a dict (importing this package registers every module below).
 BASELINE_REGISTRY: Dict[str, Callable[..., Localizer]] = {
     "KNN": KNNLocalizer,
     "NaiveBayes": NaiveBayesLocalizer,
@@ -58,7 +62,10 @@ BASELINE_REGISTRY: Dict[str, Callable[..., Localizer]] = {
 
 
 def make_baseline(name: str, **kwargs) -> Localizer:
-    """Instantiate a baseline localizer by its figure/paper name."""
-    if name not in BASELINE_REGISTRY:
-        raise KeyError(f"unknown baseline '{name}'; expected one of {sorted(BASELINE_REGISTRY)}")
-    return BASELINE_REGISTRY[name](**kwargs)
+    """Deprecated shim for :func:`repro.registry.make_localizer`.
+
+    Kept so existing call sites (``make_baseline("KNN", k=3)``) continue to
+    work; lookups are now case-insensitive and unknown names raise
+    :class:`~repro.registry.RegistryError` (a :class:`KeyError`), as before.
+    """
+    return make_localizer(name, **kwargs)

@@ -16,10 +16,12 @@ from scipy.linalg import cho_factor, cho_solve
 
 from ..data.fingerprint import FingerprintDataset
 from ..interfaces import Localizer
+from ..registry import register_localizer
 
 __all__ = ["GaussianProcessLocalizer"]
 
 
+@register_localizer("GPC", tags=("baseline", "classical"))
 class GaussianProcessLocalizer(Localizer):
     """One-vs-rest GP regression with an RBF kernel over RSS features."""
 

@@ -2,14 +2,18 @@
 
 from __future__ import annotations
 
+from typing import Dict
+
 import numpy as np
 
 from ..data.fingerprint import FingerprintDataset
 from ..interfaces import Localizer
+from ..registry import register_localizer
 
 __all__ = ["KNNLocalizer"]
 
 
+@register_localizer("KNN", tags=("baseline", "classical"))
 class KNNLocalizer(Localizer):
     """Classify a fingerprint by majority vote among its k nearest neighbours.
 
@@ -50,6 +54,23 @@ class KNNLocalizer(Localizer):
             votes = np.bincount(self._labels[neighbours], minlength=self._num_classes)
             predictions[row] = int(votes.argmax())
         return predictions
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Fitted state as named arrays (see ``LocalizationService.save``)."""
+        if self._features is None:
+            raise RuntimeError("KNN must be fitted before exporting state")
+        return {
+            "features": self._features,
+            "labels": self._labels,
+            "num_classes": np.array([self._num_classes], dtype=np.int64),
+        }
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> "KNNLocalizer":
+        """Restore fitted state previously exported by :meth:`state_arrays`."""
+        self._features = np.asarray(arrays["features"], dtype=np.float64)
+        self._labels = np.asarray(arrays["labels"], dtype=np.int64)
+        self._num_classes = int(np.asarray(arrays["num_classes"]).ravel()[0])
+        return self
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         """Vote fractions among the k nearest neighbours."""

@@ -23,6 +23,7 @@ import numpy as np
 from ..data.fingerprint import FingerprintDataset
 from ..interfaces import DifferentiableLocalizer
 from ..nn import CrossEntropyLoss, Tensor, no_grad
+from ..registry import register_localizer
 from .adaptive import AdaptiveConfig
 from .curriculum import Curriculum
 from .model import CALLOCModel
@@ -31,6 +32,7 @@ from .trainer import CALLOCTrainer, TrainerConfig, TrainingReport
 __all__ = ["CALLOC"]
 
 
+@register_localizer("CALLOC", tags=("framework",))
 class CALLOC(DifferentiableLocalizer):
     """Curriculum Adversarial Learning for secure and robust indoor localization.
 
@@ -193,6 +195,58 @@ class CALLOC(DifferentiableLocalizer):
         loss = self._loss(logits, np.asarray(labels, dtype=np.int64))
         loss.backward()
         return inputs.grad.copy()
+
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Fitted state as named arrays: weights plus the attention database.
+
+        The attention database (reference fingerprints, positions and labels)
+        is a detached constant of :class:`CALLOCModel`, not a trainable
+        parameter, so it is exported alongside the ``state_dict`` weights.
+        Used by :meth:`repro.api.LocalizationService.save`.
+        """
+        if self.model is None:
+            raise RuntimeError("CALLOC must be fitted before exporting state")
+        arrays = {
+            f"weights/{name}": value for name, value in self.model.state_dict().items()
+        }
+        arrays["reference/features"] = self.model._reference_features
+        arrays["reference/positions"] = self.model._reference_positions
+        arrays["reference/labels"] = self.model._reference_labels
+        arrays["dims"] = np.array(
+            [self.model.num_aps, self.model.num_classes], dtype=np.int64
+        )
+        return arrays
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> "CALLOC":
+        """Rebuild the fitted model from :meth:`state_arrays` output.
+
+        The architecture hyper-parameters (``embed_dim`` etc.) come from this
+        instance's constructor arguments, so they must match the ones the
+        state was exported with.
+        """
+        num_aps, num_classes = (int(v) for v in np.asarray(arrays["dims"]).ravel())
+        self.model = CALLOCModel(
+            num_aps=num_aps,
+            num_classes=num_classes,
+            reference_features=np.asarray(arrays["reference/features"]),
+            reference_positions=np.asarray(arrays["reference/positions"]),
+            reference_labels=np.asarray(arrays["reference/labels"]),
+            embed_dim=self.embed_dim,
+            attention_dim=self.attention_dim,
+            dropout_rate=self.dropout_rate,
+            noise_std=self.noise_std,
+            rng=np.random.default_rng(self.seed),
+        )
+        prefix = "weights/"
+        weights = {
+            name[len(prefix):]: value
+            for name, value in arrays.items()
+            if name.startswith(prefix)
+        }
+        self.model.load_state_dict(weights)
+        self.model.eval()
+        return self
 
     # ------------------------------------------------------------------
     def parameter_report(self) -> Dict[str, int]:

@@ -4,7 +4,15 @@ Regenerates every table and figure of the paper's evaluation section; see
 :mod:`repro.eval.figures` for the per-artefact entry points.
 """
 
+from .metrics import ErrorStats, aggregate_stats, error_stats, improvement_factor
+from .reporting import ascii_table, format_factor_table, results_to_csv, text_heatmap
+from .runner import EvaluationRecord, ExperimentRunner, ResultSet
+from .scenarios import AttackScenario, EvaluationConfig
+
+# Imported after the harness modules: figures (lazily) pulls in repro.api,
+# which itself builds on the runner/scenarios modules above.
 from .figures import (
+    DEFAULT_SOTA_BASELINES,
     ablation_adaptive,
     baseline_factories,
     calloc_factory,
@@ -12,17 +20,16 @@ from .figures import (
     fig4_heatmaps,
     fig5_curriculum,
     fig6_sota,
+    fig6_spec,
     fig7_phi_sweep,
     table1_devices,
     table2_buildings,
     table3_model_budget,
 )
-from .metrics import ErrorStats, aggregate_stats, error_stats, improvement_factor
-from .reporting import ascii_table, format_factor_table, results_to_csv, text_heatmap
-from .runner import EvaluationRecord, ExperimentRunner, ResultSet
-from .scenarios import AttackScenario, EvaluationConfig
 
 __all__ = [
+    "DEFAULT_SOTA_BASELINES",
+    "fig6_spec",
     "ErrorStats",
     "error_stats",
     "aggregate_stats",

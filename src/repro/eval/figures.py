@@ -5,6 +5,12 @@ returns a dictionary with the structured numbers plus a ``"text"`` rendering.
 The pytest benchmarks under ``benchmarks/`` are thin wrappers around these
 functions; they can also be called directly from scripts or notebooks.
 
+Every model-grid artefact is expressed as a declarative
+:class:`~repro.api.ExperimentSpec` executed through
+:meth:`~repro.eval.runner.ExperimentRunner.run`, so the exact experiment a
+figure encodes can be serialized to JSON (``fig6_spec().to_json()``),
+edited, and re-run through the same path (``python -m repro run``).
+
 Artefacts covered:
 
 ======================  =====================================================
@@ -26,16 +32,6 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..baselines import (
-    AdvLocLocalizer,
-    ANVILLocalizer,
-    DNNLocalizer,
-    GaussianProcessLocalizer,
-    KNNLocalizer,
-    SANGRIALocalizer,
-    WiDeepLocalizer,
-)
-from ..core import CALLOC, CALLOCModel
 from ..data.devices import PAPER_DEVICES
 from ..data.floorplan import PAPER_BUILDING_SPECS, paper_building
 from ..interfaces import Localizer
@@ -53,13 +49,18 @@ __all__ = [
     "fig6_sota",
     "fig7_phi_sweep",
     "ablation_adaptive",
+    "fig6_spec",
     "calloc_factory",
     "baseline_factories",
+    "DEFAULT_SOTA_BASELINES",
 ]
+
+#: Baselines of the Fig. 6/7 state-of-the-art comparison.
+DEFAULT_SOTA_BASELINES = ("AdvLoc", "SANGRIA", "ANVIL", "WiDeep")
 
 
 # ----------------------------------------------------------------------
-# Model factories
+# Model factories (thin wrappers over the registry + profile defaults)
 # ----------------------------------------------------------------------
 def calloc_factory(
     config: EvaluationConfig,
@@ -67,38 +68,40 @@ def calloc_factory(
     adaptive: bool = True,
 ) -> Callable[[], Localizer]:
     """Factory producing a CALLOC localizer tuned to the evaluation profile."""
+    from ..api import ModelSpec, model_factory
 
-    def build() -> Localizer:
-        return CALLOC(
-            epochs_per_lesson=config.epochs_per_lesson,
-            use_curriculum=use_curriculum,
-            adaptive=adaptive,
-            seed=config.model_seed,
-        )
-
-    return build
+    return model_factory(
+        ModelSpec(
+            "CALLOC", params={"use_curriculum": use_curriculum, "adaptive": adaptive}
+        ),
+        config,
+    )
 
 
 def baseline_factories(
     config: EvaluationConfig, names: Optional[Sequence[str]] = None
 ) -> Dict[str, Callable[[], Localizer]]:
-    """Factories for the Fig. 6/7 state-of-the-art baselines."""
-    epochs = config.baseline_epochs
-    seed = config.model_seed
-    all_factories: Dict[str, Callable[[], Localizer]] = {
-        "AdvLoc": lambda: AdvLocLocalizer(epochs=epochs, seed=seed),
-        "SANGRIA": lambda: SANGRIALocalizer(
-            pretrain_epochs=max(10, epochs // 3), num_rounds=10, seed=seed
-        ),
-        "ANVIL": lambda: ANVILLocalizer(epochs=epochs, seed=seed),
-        "WiDeep": lambda: WiDeepLocalizer(pretrain_epochs=max(10, epochs // 3), seed=seed),
-        "DNN": lambda: DNNLocalizer(epochs=epochs, seed=seed),
-        "KNN": lambda: KNNLocalizer(),
-        "GPC": lambda: GaussianProcessLocalizer(),
-    }
+    """Factories for registered baselines tuned to the evaluation profile."""
+    from ..api import model_factory
+
     if names is None:
-        names = ("AdvLoc", "SANGRIA", "ANVIL", "WiDeep")
-    return {name: all_factories[name] for name in names}
+        names = DEFAULT_SOTA_BASELINES
+    return {name: model_factory(name, config) for name in names}
+
+
+def _spec(models, **kwargs):
+    """An :class:`ExperimentSpec` over ``models`` (late import avoids a cycle)."""
+    from ..api import ExperimentSpec
+
+    return ExperimentSpec(models=tuple(models), **kwargs)
+
+
+def fig6_spec(baselines: Optional[Sequence[str]] = None):
+    """The declarative spec behind :func:`fig6_sota` (CALLOC + SOTA grid)."""
+    from ..api import ExperimentSpec
+
+    names = tuple(baselines) if baselines is not None else DEFAULT_SOTA_BASELINES
+    return ExperimentSpec(models=("CALLOC",) + names, profile="quick", name="fig6")
 
 
 # ----------------------------------------------------------------------
@@ -151,6 +154,8 @@ def table3_model_budget(num_aps: int = 165, num_classes: int = 61) -> Dict[str, 
     ``num_aps`` / ``num_classes`` default to values consistent with the
     paper's reported budget (65,239 parameters, 254.84 kB).
     """
+    from ..core import CALLOCModel
+
     rng = np.random.default_rng(0)
     reference = rng.random((num_classes, num_aps))
     positions = rng.random((num_classes, 2)) * 50.0
@@ -199,15 +204,21 @@ def fig1_attack_impact(config: Optional[EvaluationConfig] = None) -> Dict[str, o
     """Fig. 1: localization error of KNN / GPC / DNN with and without FGSM."""
     config = config or EvaluationConfig.quick()
     runner = ExperimentRunner(config)
-    scenarios = [
+    scenarios = (
         AttackScenario(method="FGSM", epsilon=0.0, phi_percent=0.0),
         AttackScenario(method="FGSM", epsilon=0.3, phi_percent=50.0, seed=config.attack_seeds[0]),
-    ]
-    factories = baseline_factories(config, names=("KNN", "GPC", "DNN"))
-    results = runner.evaluate_models(factories, scenarios, buildings=config.buildings[:1])
+    )
+    model_names = ("KNN", "GPC", "DNN")
+    spec = _spec(
+        model_names,
+        scenarios=scenarios,
+        buildings=config.buildings[:1],
+        name="fig1",
+    )
+    results = runner.run(spec)
     summary: Dict[str, Dict[str, float]] = {}
     rows = []
-    for model_name in factories:
+    for model_name in model_names:
         clean = results.filter(model=model_name, attack="clean").mean_error()
         attacked = results.filter(model=model_name, attack="FGSM").mean_error()
         summary[model_name] = {
@@ -226,10 +237,8 @@ def fig4_heatmaps(config: Optional[EvaluationConfig] = None) -> Dict[str, object
     """Fig. 4: CALLOC mean-error heatmaps (device × building) per attack method."""
     config = config or EvaluationConfig.quick()
     runner = ExperimentRunner(config)
-    scenarios = config.scenarios()
-    results = runner.evaluate_model(
-        "CALLOC", calloc_factory(config), scenarios, buildings=config.buildings
-    )
+    spec = _spec(("CALLOC",), buildings=config.buildings, name="fig4")
+    results = runner.run(spec)
     heatmaps: Dict[str, np.ndarray] = {}
     texts: List[str] = []
     for method in config.attack_methods:
@@ -252,14 +261,18 @@ def fig4_heatmaps(config: Optional[EvaluationConfig] = None) -> Dict[str, object
 
 def fig5_curriculum(config: Optional[EvaluationConfig] = None) -> Dict[str, object]:
     """Fig. 5: curriculum (CALLOC) vs no-curriculum (NC) across attacks and ε."""
+    from ..api import ModelSpec
+
     config = config or EvaluationConfig.quick()
     runner = ExperimentRunner(config)
-    scenarios = config.scenarios()
-    factories = {
-        "CALLOC": calloc_factory(config, use_curriculum=True),
-        "NC": calloc_factory(config, use_curriculum=False),
-    }
-    results = runner.evaluate_models(factories, scenarios)
+    spec = _spec(
+        (
+            ModelSpec("CALLOC"),
+            ModelSpec("CALLOC", params={"use_curriculum": False}, label="NC"),
+        ),
+        name="fig5",
+    )
+    results = runner.run(spec)
     curves: Dict[str, Dict[str, List[float]]] = {}
     rows = []
     for method in config.attack_methods:
@@ -290,18 +303,13 @@ def fig6_sota(
     """Fig. 6: CALLOC vs state-of-the-art frameworks (mean and worst-case error)."""
     config = config or EvaluationConfig.quick()
     runner = ExperimentRunner(config)
-    scenarios = config.scenarios()
-    factories: Dict[str, Callable[[], Localizer]] = {"CALLOC": calloc_factory(config)}
-    factories.update(baseline_factories(config, names=baselines))
-    results = runner.evaluate_models(factories, scenarios)
+    spec = fig6_spec(baselines)
+    results = runner.run(spec)
 
     stats: Dict[str, Dict[str, float]] = {}
-    for model_name in factories:
-        subset = results.filter(model=model_name)
-        stats[model_name] = {
-            "mean": subset.mean_error(),
-            "worst_case": subset.worst_case_error(),
-        }
+    for model_name in (m.display_name for m in spec.models):
+        summary = results.filter(model=model_name).error_summary()
+        stats[model_name] = {"mean": summary.mean, "worst_case": summary.worst_case}
     calloc_stats = stats["CALLOC"]
     baseline_stats = {name: s for name, s in stats.items() if name != "CALLOC"}
     factors = {
@@ -324,14 +332,20 @@ def fig7_phi_sweep(
     """Fig. 7: mean error vs number of attacked APs ø (FGSM, ε = 0.1)."""
     config = config or EvaluationConfig.quick()
     runner = ExperimentRunner(config)
-    scenarios = config.scenarios(methods=(method,), epsilons=(epsilon,))
-    factories: Dict[str, Callable[[], Localizer]] = {"CALLOC": calloc_factory(config)}
-    factories.update(baseline_factories(config, names=baselines))
-    results = runner.evaluate_models(factories, scenarios)
+    names = ("CALLOC",) + (
+        tuple(baselines) if baselines is not None else DEFAULT_SOTA_BASELINES
+    )
+    spec = _spec(
+        names,
+        attack_methods=(method,),
+        epsilons=(epsilon,),
+        name="fig7",
+    )
+    results = runner.run(spec)
 
-    curves: Dict[str, List[float]] = {name: [] for name in factories}
+    curves: Dict[str, List[float]] = {name: [] for name in names}
     for phi in config.phi_percents:
-        for name in factories:
+        for name in names:
             curves[name].append(results.filter(model=name, phi=phi).mean_error())
     rows = []
     for name, values in curves.items():
@@ -349,19 +363,25 @@ def fig7_phi_sweep(
 
 def ablation_adaptive(config: Optional[EvaluationConfig] = None) -> Dict[str, object]:
     """Sec. IV.D ablation: adaptive curriculum controller vs static curriculum."""
+    from ..api import ModelSpec
+
     config = config or EvaluationConfig.quick()
     runner = ExperimentRunner(config)
-    scenarios = config.scenarios(methods=("FGSM",))
-    factories = {
-        "CALLOC-adaptive": calloc_factory(config, adaptive=True),
-        "CALLOC-static": calloc_factory(config, adaptive=False),
-    }
-    results = runner.evaluate_models(factories, scenarios)
+    labels = ("CALLOC-adaptive", "CALLOC-static")
+    spec = _spec(
+        (
+            ModelSpec("CALLOC", params={"adaptive": True}, label=labels[0]),
+            ModelSpec("CALLOC", params={"adaptive": False}, label=labels[1]),
+        ),
+        attack_methods=("FGSM",),
+        name="ablation",
+    )
+    results = runner.run(spec)
     rows = []
     stats = {}
-    for name in factories:
-        subset = results.filter(model=name)
-        stats[name] = {"mean": subset.mean_error(), "worst_case": subset.worst_case_error()}
-        rows.append([name, stats[name]["mean"], stats[name]["worst_case"]])
+    for name in labels:
+        summary = results.filter(model=name).error_summary()
+        stats[name] = {"mean": summary.mean, "worst_case": summary.worst_case}
+        rows.append([name, summary.mean, summary.worst_case])
     text = ascii_table(rows, headers=["variant", "mean err (m)", "worst err (m)"])
     return {"stats": stats, "results": results, "rows": rows, "text": text}

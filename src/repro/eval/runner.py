@@ -15,22 +15,34 @@ described in ``repro.attacks.surrogate``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..attacks.base import GradientProvider, ThreatModel
-from ..attacks.mitm import attack_dataset, make_attack
+from ..attacks.mitm import attack_dataset
 from ..attacks.surrogate import SurrogateGradientModel
 from ..data.campaign import CampaignConfig, LocalizationCampaign, collect_campaign
 from ..data.fingerprint import FingerprintDataset
 from ..data.floorplan import paper_building
-from ..interfaces import Localizer
+from ..interfaces import ErrorSummary, Localizer
+from ..registry import make_attack
 from .metrics import ErrorStats, error_stats
 from .scenarios import AttackScenario, EvaluationConfig
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports runner)
+    from ..api import ExperimentSpec
+
 __all__ = ["EvaluationRecord", "ResultSet", "ExperimentRunner"]
+
+
+def _criterion_matches(actual: object, expected: object) -> bool:
+    """Equality that tolerates float rounding for ε/ø-style criteria."""
+    if isinstance(expected, float) and isinstance(actual, (int, float)):
+        return math.isclose(float(actual), expected, rel_tol=1e-9, abs_tol=1e-12)
+    return actual == expected
 
 
 @dataclass(frozen=True)
@@ -73,11 +85,19 @@ class ResultSet:
         return len(self.records)
 
     def filter(self, **criteria) -> "ResultSet":
-        """Filter records by model / building / device / attack / epsilon / phi."""
+        """Filter records by model / building / device / attack / epsilon / phi.
+
+        Float-valued criteria (``epsilon``/``phi``) are compared with
+        :func:`math.isclose`, so grid values that went through JSON or
+        arithmetic round-trips still match.
+        """
         selected = []
         for record in self.records:
             row = record.as_dict()
-            if all(row.get(key) == value for key, value in criteria.items()):
+            if all(
+                _criterion_matches(row.get(key), value)
+                for key, value in criteria.items()
+            ):
                 selected.append(record)
         return ResultSet(selected)
 
@@ -94,6 +114,21 @@ class ResultSet:
         if not self.records:
             raise ValueError("result set is empty")
         return float(max(r.stats.worst_case for r in self.records))
+
+    def error_summary(self) -> ErrorSummary:
+        """Weighted mean, worst case and sample count in a single pass."""
+        if not self.records:
+            raise ValueError("result set is empty")
+        total = 0
+        weighted_mean = 0.0
+        worst = 0.0
+        for record in self.records:
+            total += record.stats.count
+            weighted_mean += record.stats.mean * record.stats.count
+            worst = max(worst, record.stats.worst_case)
+        return ErrorSummary(
+            mean=weighted_mean / total, worst_case=worst, count=total
+        )
 
     def models(self) -> List[str]:
         """Distinct model names present in the results."""
@@ -217,3 +252,17 @@ class ExperimentRunner:
                 self.evaluate_model(name, factory, scenarios, buildings, devices).records
             )
         return results
+
+    def run(self, spec: "ExperimentSpec") -> ResultSet:
+        """Execute a declarative :class:`~repro.api.ExperimentSpec`.
+
+        The spec's models and scenario grid are resolved against this
+        runner's config (its profile is ignored here — build the runner from
+        ``spec.config()``, or use :func:`repro.api.run_experiment`, to honor
+        it).  Reusing one runner across specs shares the campaign cache.
+        """
+        factories = spec.resolve_factories(self.config)
+        scenarios = spec.resolve_scenarios(self.config)
+        return self.evaluate_models(
+            factories, scenarios, buildings=spec.buildings, devices=spec.devices
+        )

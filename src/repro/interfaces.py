@@ -17,13 +17,24 @@ the white-box adversarial attacks.
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import NamedTuple, Optional
 
 import numpy as np
 
 from .data.fingerprint import FingerprintDataset
 
-__all__ = ["Localizer", "DifferentiableLocalizer", "localization_errors"]
+__all__ = ["ErrorSummary", "Localizer", "DifferentiableLocalizer", "localization_errors"]
+
+
+class ErrorSummary(NamedTuple):
+    """Mean and worst-case localization error (meters) over one dataset."""
+
+    mean: float
+    worst_case: float
+    count: int
+
+    def __str__(self) -> str:
+        return f"mean={self.mean:.2f}m worst={self.worst_case:.2f}m (n={self.count})"
 
 
 def localization_errors(
@@ -70,6 +81,20 @@ class Localizer(abc.ABC):
         """Per-sample localization errors (meters) on ``dataset``."""
         predictions = self.predict_dataset(dataset)
         return localization_errors(predictions, dataset.labels, dataset.rp_positions)
+
+    def error_summary(self, dataset: FingerprintDataset) -> ErrorSummary:
+        """Mean and worst-case error from a single prediction pass.
+
+        Prefer this over calling :meth:`mean_error` and
+        :meth:`worst_case_error` separately — each of those runs a full
+        ``predict`` over the dataset.
+        """
+        errors = self.evaluate(dataset)
+        return ErrorSummary(
+            mean=float(errors.mean()),
+            worst_case=float(errors.max()),
+            count=int(errors.size),
+        )
 
     def mean_error(self, dataset: FingerprintDataset) -> float:
         """Mean localization error (meters) on ``dataset``."""

@@ -1,0 +1,265 @@
+"""Plugin-style component registries: the single extension point of the library.
+
+Every localization model (CALLOC and each baseline) and every attack (the
+white-box crafting methods and the channel-side MITM wrappers) registers
+itself here under the name the paper uses for it.  New components drop in with
+one decorator and immediately become available to the declarative
+:class:`repro.api.ExperimentSpec`, the :class:`repro.api.LocalizationService`
+facade and the ``python -m repro`` CLI — no factory dict in three different
+modules to keep in sync.
+
+Registering a localizer::
+
+    from repro.registry import register_localizer
+
+    @register_localizer("MyModel", tags=("baseline",))
+    class MyLocalizer(Localizer):
+        ...
+
+Using it::
+
+    from repro.registry import make_localizer, available_localizers
+
+    model = make_localizer("MyModel", epochs=40)
+    assert "MyModel" in available_localizers()
+
+Attacks follow the same pattern through :func:`register_attack` /
+:func:`make_attack`; an attack factory is always called with the
+:class:`~repro.attacks.base.ThreatModel` as its first argument.
+
+Lookups are case-insensitive (``make_localizer("knn")`` works) and unknown
+names raise :class:`RegistryError` (a :class:`KeyError`) naming the closest
+registered spellings.  The registries populate themselves lazily: the first
+lookup imports the packages whose modules carry the ``@register_*``
+decorators, so importing :mod:`repro.registry` stays cheap and free of
+circular imports.
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Registry",
+    "RegistryEntry",
+    "RegistryError",
+    "LOCALIZERS",
+    "ATTACKS",
+    "register_localizer",
+    "register_attack",
+    "make_localizer",
+    "make_attack",
+    "available_localizers",
+    "available_attacks",
+]
+
+
+class RegistryError(KeyError):
+    """Unknown or conflicting component name.
+
+    Subclasses :class:`KeyError` so that callers of the legacy factory
+    functions (``make_baseline`` / ``repro.attacks.make_attack``), which
+    documented ``KeyError``, keep working unchanged.
+    """
+
+    def __str__(self) -> str:  # KeyError repr()s its message; show it verbatim.
+        return self.args[0] if self.args else ""
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered component."""
+
+    name: str
+    factory: Callable[..., Any]
+    tags: Tuple[str, ...] = ()
+    aliases: Tuple[str, ...] = ()
+
+    @property
+    def summary(self) -> str:
+        """First line of the factory's docstring (for ``list-*`` CLI output)."""
+        doc = getattr(self.factory, "__doc__", None) or ""
+        return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+@dataclass
+class Registry:
+    """A named-component registry with decorator registration and lazy population.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable component kind (``"localizer"``/``"attack"``), used in
+        error messages.
+    lazy_modules:
+        Modules imported on first access; importing them runs the
+        ``@register_*`` decorators that populate the registry.
+    """
+
+    kind: str
+    lazy_modules: Tuple[str, ...] = ()
+    _entries: Dict[str, RegistryEntry] = field(default_factory=dict)
+    _lookup: Dict[str, str] = field(default_factory=dict)  # casefolded -> canonical
+    _populated: bool = False
+
+    # -- registration ---------------------------------------------------
+    def register(
+        self,
+        name: str,
+        factory: Optional[Callable[..., Any]] = None,
+        *,
+        tags: Iterable[str] = (),
+        aliases: Iterable[str] = (),
+        override: bool = False,
+    ):
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        Re-registering the same factory under the same name is a no-op (so
+        modules can be re-imported safely); registering a *different* factory
+        under a taken name raises :class:`RegistryError` unless
+        ``override=True``.
+        """
+
+        def _register(obj: Callable[..., Any]) -> Callable[..., Any]:
+            entry = RegistryEntry(
+                name=name, factory=obj, tags=tuple(tags), aliases=tuple(aliases)
+            )
+            existing = self._entries.get(name)
+            if existing is not None and not override:
+                if existing.factory is obj:
+                    return obj
+                raise RegistryError(
+                    f"{self.kind} '{name}' is already registered "
+                    f"(to {existing.factory!r}); pass override=True to replace it"
+                )
+            self._entries[name] = entry
+            for key in (name, *entry.aliases):
+                self._lookup[key.casefold()] = name
+            return obj
+
+        if factory is not None:
+            return _register(factory)
+        return _register
+
+    # -- lookup ---------------------------------------------------------
+    def _populate(self) -> None:
+        if self._populated:
+            return
+        # Mark populated only after every import succeeds, so a failed import
+        # surfaces again on the next lookup instead of leaving the registry
+        # silently partial.  (Re-entrant lookups during the imports are safe:
+        # import_module returns in-progress modules from sys.modules.)
+        for module in self.lazy_modules:
+            importlib.import_module(module)
+        self._populated = True
+
+    def resolve(self, name: str) -> str:
+        """Canonical name for ``name`` (case-insensitive, alias-aware)."""
+        self._populate()
+        canonical = self._lookup.get(str(name).casefold())
+        if canonical is None:
+            close = difflib.get_close_matches(
+                str(name).casefold(), sorted(self._lookup), n=3
+            )
+            suggestions = sorted({self._lookup[key] for key in close})
+            hint = f" (did you mean {', '.join(suggestions)}?)" if suggestions else ""
+            raise RegistryError(
+                f"unknown {self.kind} '{name}'; expected one of {self.names()}{hint}"
+            )
+        return canonical
+
+    def entry(self, name: str) -> RegistryEntry:
+        """Full :class:`RegistryEntry` for ``name``."""
+        return self._entries[self.resolve(name)]
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """The registered factory for ``name``."""
+        return self.entry(name).factory
+
+    def create(self, name: str, *args, **kwargs) -> Any:
+        """Instantiate the component registered under ``name``."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self, tag: Optional[str] = None) -> List[str]:
+        """Sorted canonical names, optionally restricted to one tag."""
+        self._populate()
+        return sorted(
+            name for name, e in self._entries.items() if tag is None or tag in e.tags
+        )
+
+    def entries(self, tag: Optional[str] = None) -> List[RegistryEntry]:
+        """Sorted entries, optionally restricted to one tag."""
+        return [self._entries[name] for name in self.names(tag)]
+
+    def as_dict(self, tag: Optional[str] = None) -> Dict[str, Callable[..., Any]]:
+        """``{name: factory}`` snapshot (what the legacy dicts used to be)."""
+        return {name: self._entries[name].factory for name in self.names(tag)}
+
+    def __contains__(self, name: object) -> bool:
+        self._populate()
+        return str(name).casefold() in self._lookup
+
+    def __len__(self) -> int:
+        self._populate()
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self.names())
+
+
+#: All localization models: CALLOC (tag ``"framework"``) and the paper's
+#: baselines (tag ``"baseline"``).
+LOCALIZERS = Registry("localizer", lazy_modules=("repro.baselines", "repro.core"))
+
+#: All attacks: white-box crafting methods (tag ``"crafting"``) and the
+#: channel-side MITM wrappers (tag ``"mitm"``).
+ATTACKS = Registry("attack", lazy_modules=("repro.attacks",))
+
+
+def register_localizer(
+    name: str,
+    factory: Optional[Callable[..., Any]] = None,
+    *,
+    tags: Iterable[str] = (),
+    aliases: Iterable[str] = (),
+    override: bool = False,
+):
+    """Register a localizer class/factory under ``name`` (decorator-friendly)."""
+    return LOCALIZERS.register(
+        name, factory, tags=tags, aliases=aliases, override=override
+    )
+
+
+def register_attack(
+    name: str,
+    factory: Optional[Callable[..., Any]] = None,
+    *,
+    tags: Iterable[str] = (),
+    aliases: Iterable[str] = (),
+    override: bool = False,
+):
+    """Register an attack class/factory under ``name`` (decorator-friendly)."""
+    return ATTACKS.register(name, factory, tags=tags, aliases=aliases, override=override)
+
+
+def make_localizer(name: str, **kwargs) -> Any:
+    """Instantiate a registered localizer by name (``make_localizer("KNN", k=3)``)."""
+    return LOCALIZERS.create(name, **kwargs)
+
+
+def make_attack(name: str, threat_model: Any, **kwargs) -> Any:
+    """Instantiate a registered attack by name against a threat model."""
+    return ATTACKS.create(name, threat_model, **kwargs)
+
+
+def available_localizers(tag: Optional[str] = None) -> List[str]:
+    """Names of every registered localizer (optionally one tag)."""
+    return LOCALIZERS.names(tag)
+
+
+def available_attacks(tag: Optional[str] = None) -> List[str]:
+    """Names of every registered attack (optionally one tag)."""
+    return ATTACKS.names(tag)

@@ -1,14 +1,32 @@
-"""Command-line entry point to regenerate the paper's tables and figures.
+"""Command-line entry point: artefact regeneration plus the declarative API.
+
+Subcommands
+-----------
+``list-models``
+    Enumerate every registered localizer (CALLOC and all baselines).
+``list-attacks``
+    Enumerate every registered attack (crafting methods and MITM variants).
+``artefact NAME [NAME ...]``
+    Regenerate specific tables/figures of the paper (or ``all``).
+``run``
+    Execute a declarative :class:`~repro.api.ExperimentSpec` — either loaded
+    from a JSON file (``--spec``) or assembled from ``--models`` /
+    ``--buildings`` / ``--devices`` flags — and print a result summary.
 
 Examples
 --------
 Regenerate Fig. 6 on the quick profile and print the comparison table::
 
+    python -m repro artefact fig6 --profile quick
+
+The pre-subcommand spelling still works::
+
     python -m repro --artefact fig6 --profile quick
 
-Regenerate every artefact and store the rendered text under ``results/``::
+Run a declarative experiment::
 
-    python -m repro --artefact all --output-dir results
+    python -m repro run --models CALLOC KNN --profile quick
+    python -m repro run --spec experiment.json --output-dir results
 """
 
 from __future__ import annotations
@@ -16,22 +34,25 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
+from .api import PROFILES as _PROFILES
 from .eval import (
     EvaluationConfig,
     ablation_adaptive,
+    ascii_table,
     fig1_attack_impact,
     fig4_heatmaps,
     fig5_curriculum,
     fig6_sota,
     fig7_phi_sweep,
+    results_to_csv,
     table1_devices,
     table2_buildings,
     table3_model_budget,
 )
 
-__all__ = ["main", "ARTEFACTS"]
+__all__ = ["main", "build_parser", "run_artefact", "ARTEFACTS"]
 
 #: Artefact name -> callable(config) -> result dict with a "text" rendering.
 ARTEFACTS: Dict[str, Callable] = {
@@ -46,37 +67,96 @@ ARTEFACTS: Dict[str, Callable] = {
     "ablation": ablation_adaptive,
 }
 
-_PROFILES = {
-    "quick": EvaluationConfig.quick,
-    "standard": EvaluationConfig.standard,
-    "full": EvaluationConfig.full,
-}
+def _add_common_options(parser: argparse.ArgumentParser, suppress: bool) -> None:
+    """``--profile`` / ``--output-dir``, shared by the root parser and subcommands.
+
+    Subcommands use ``SUPPRESS`` defaults so a value parsed before the
+    subcommand (``python -m repro --profile full artefact fig6``) survives.
+    """
+    parser.add_argument(
+        "--profile",
+        choices=sorted(_PROFILES),
+        default=argparse.SUPPRESS if suppress else "quick",
+        help="evaluation grid size (quick: minutes, full: the paper's grid)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=argparse.SUPPRESS if suppress else None,
+        help="optional directory to write rendered artefacts / CSV results to",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Argument parser for the reproduction CLI."""
     parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate the CALLOC paper's evaluation tables and figures.",
+        prog="repro",
+        description=(
+            "CALLOC reproduction: regenerate the paper's evaluation artefacts, "
+            "inspect the model/attack registries, or run declarative experiments."
+        ),
     )
+    # Legacy pre-subcommand interface: `python -m repro --artefact fig6`.
     parser.add_argument(
         "--artefact",
         choices=sorted(ARTEFACTS) + ["all"],
         default="all",
         help="which table/figure to regenerate (default: all)",
     )
-    parser.add_argument(
-        "--profile",
-        choices=sorted(_PROFILES),
-        default="quick",
-        help="evaluation grid size (quick: minutes, full: the paper's grid)",
+    _add_common_options(parser, suppress=False)
+
+    subparsers = parser.add_subparsers(dest="command")
+
+    list_models = subparsers.add_parser(
+        "list-models", help="enumerate every registered localizer"
     )
-    parser.add_argument(
-        "--output-dir",
+    list_models.add_argument(
+        "--tag", default=None, help="restrict to one tag (e.g. baseline, framework)"
+    )
+
+    list_attacks = subparsers.add_parser(
+        "list-attacks", help="enumerate every registered attack"
+    )
+    list_attacks.add_argument(
+        "--tag", default=None, help="restrict to one tag (e.g. crafting, mitm)"
+    )
+
+    artefact = subparsers.add_parser(
+        "artefact", help="regenerate specific tables/figures of the paper"
+    )
+    artefact.add_argument(
+        "names",
+        nargs="+",
+        choices=sorted(ARTEFACTS) + ["all"],
+        help="artefacts to regenerate",
+    )
+    _add_common_options(artefact, suppress=True)
+
+    run = subparsers.add_parser(
+        "run", help="execute a declarative experiment spec (JSON or flags)"
+    )
+    run.add_argument(
+        "--spec",
         type=Path,
         default=None,
-        help="optional directory to write each artefact's text rendering to",
+        help=(
+            "path to an ExperimentSpec JSON file; the file is the complete "
+            "experiment (profile and grid included), so it cannot be combined "
+            "with the flags below or --profile"
+        ),
     )
+    run.add_argument(
+        "--models", nargs="+", default=None, help="registry names of models to evaluate"
+    )
+    run.add_argument("--buildings", nargs="+", default=None)
+    run.add_argument("--devices", nargs="+", default=None)
+    run.add_argument(
+        "--methods", nargs="+", default=None, help="attack crafting methods to sweep"
+    )
+    run.add_argument("--epsilons", nargs="+", type=float, default=None)
+    run.add_argument("--phis", nargs="+", type=float, default=None)
+    _add_common_options(run, suppress=True)
+
     return parser
 
 
@@ -90,16 +170,119 @@ def run_artefact(name: str, config: EvaluationConfig, output_dir: Optional[Path]
     return text
 
 
+def _cmd_list_models(args: argparse.Namespace) -> int:
+    from .registry import LOCALIZERS
+
+    rows = [
+        [entry.name, "/".join(entry.tags), entry.summary]
+        for entry in LOCALIZERS.entries(args.tag)
+    ]
+    print(ascii_table(rows, headers=["model", "tags", "description"]))
+    return 0
+
+
+def _cmd_list_attacks(args: argparse.Namespace) -> int:
+    from .registry import ATTACKS
+
+    rows = [
+        [entry.name, "/".join(entry.tags), entry.summary]
+        for entry in ATTACKS.entries(args.tag)
+    ]
+    print(ascii_table(rows, headers=["attack", "tags", "description"]))
+    return 0
+
+
+def _artefact_names(requested: List[str]) -> List[str]:
+    return sorted(ARTEFACTS) if "all" in requested else list(dict.fromkeys(requested))
+
+
+def _cmd_artefacts(names: List[str], profile: str, output_dir: Optional[Path]) -> int:
+    config = _PROFILES[profile]()
+    for name in names:
+        print(f"=== {name} ({profile} profile) ===")
+        print(run_artefact(name, config, output_dir))
+        print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .api import ExperimentSpec, run_experiment
+
+    profile = getattr(args, "profile", "quick")
+    output_dir: Optional[Path] = getattr(args, "output_dir", None)
+    if args.spec is not None:
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--models", args.models),
+                ("--buildings", args.buildings),
+                ("--devices", args.devices),
+                ("--methods", args.methods),
+                ("--epsilons", args.epsilons),
+                ("--phis", args.phis),
+            )
+            if value
+        ]
+        if conflicting:
+            raise SystemExit(
+                f"pass either --spec or {'/'.join(conflicting)}, not both "
+                "(a spec file already carries the full experiment)"
+            )
+        spec = ExperimentSpec.load(args.spec)
+    elif args.models:
+        spec = ExperimentSpec(
+            models=tuple(args.models),
+            profile=profile,
+            buildings=tuple(args.buildings) if args.buildings else None,
+            devices=tuple(args.devices) if args.devices else None,
+            attack_methods=tuple(args.methods) if args.methods else None,
+            epsilons=tuple(args.epsilons) if args.epsilons else None,
+            phi_percents=tuple(args.phis) if args.phis else None,
+        )
+    else:
+        raise SystemExit("run requires --spec FILE or --models NAME [NAME ...]")
+
+    label = f" '{spec.name}'" if spec.name else ""
+    print(
+        f"running spec{label}: profile={spec.profile}, "
+        f"{len(spec.models)} model(s)"
+    )
+    results = run_experiment(spec)
+    rows = []
+    for model_name in results.models():
+        summary = results.filter(model=model_name).error_summary()
+        rows.append([model_name, summary.mean, summary.worst_case, summary.count])
+    print(ascii_table(rows, headers=["model", "mean err (m)", "worst err (m)", "samples"]))
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+        csv_path = results_to_csv(results.to_rows(), output_dir / "results.csv")
+        (output_dir / "spec.json").write_text(spec.to_json() + "\n")
+        print(f"wrote {csv_path} and {output_dir / 'spec.json'}")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    config = _PROFILES[args.profile]()
+    command = getattr(args, "command", None)
+    if command == "list-models":
+        return _cmd_list_models(args)
+    if command == "list-attacks":
+        return _cmd_list_attacks(args)
+    if command == "run":
+        try:
+            return _cmd_run(args)
+        except (KeyError, ValueError, OSError) as error:
+            # User errors (unknown model, malformed spec, missing file) get a
+            # clean message instead of a traceback.
+            raise SystemExit(f"error: {error}")
+    if command == "artefact":
+        return _cmd_artefacts(
+            _artefact_names(args.names), args.profile, args.output_dir
+        )
+    # Legacy interface: no subcommand, `--artefact` selects the artefacts.
     names = sorted(ARTEFACTS) if args.artefact == "all" else [args.artefact]
-    for name in names:
-        print(f"=== {name} ({args.profile} profile) ===")
-        print(run_artefact(name, config, args.output_dir))
-        print()
-    return 0
+    return _cmd_artefacts(names, args.profile, args.output_dir)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

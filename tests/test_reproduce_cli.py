@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.eval import EvaluationConfig
@@ -14,10 +16,33 @@ class TestParser:
         assert args.artefact == "all"
         assert args.profile == "quick"
         assert args.output_dir is None
+        assert args.command is None
 
     def test_rejects_unknown_artefact(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--artefact", "fig99"])
+
+    def test_artefact_subcommand_inherits_root_profile(self):
+        args = build_parser().parse_args(["--profile", "full", "artefact", "fig6"])
+        assert args.command == "artefact"
+        assert args.names == ["fig6"]
+        assert args.profile == "full"
+
+    def test_artefact_subcommand_own_profile(self):
+        args = build_parser().parse_args(["artefact", "table1", "--profile", "standard"])
+        assert args.profile == "standard"
+
+    def test_artefact_subcommand_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["artefact", "fig99"])
+
+    def test_run_subcommand_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--models", "CALLOC", "KNN", "--epsilons", "0.1", "0.3"]
+        )
+        assert args.command == "run"
+        assert args.models == ["CALLOC", "KNN"]
+        assert args.epsilons == [0.1, 0.3]
 
     def test_artefact_registry_covers_every_paper_artefact(self):
         assert set(ARTEFACTS) == {
@@ -45,3 +70,95 @@ class TestExecution:
         captured = capsys.readouterr()
         assert "table3" in captured.out
         assert (tmp_path / "table3.txt").exists()
+
+    def test_artefact_subcommand_runs_multiple(self, capsys, tmp_path):
+        exit_code = main(["artefact", "table1", "table3", "--output-dir", str(tmp_path)])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Oneplus" in captured.out
+        assert (tmp_path / "table1.txt").exists()
+        assert (tmp_path / "table3.txt").exists()
+
+
+class TestRegistrySubcommands:
+    def test_list_models_enumerates_calloc_and_baselines(self, capsys):
+        assert main(["list-models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("CALLOC", "KNN", "GPC", "DNN", "AdvLoc", "SANGRIA", "ANVIL", "WiDeep"):
+            assert name in out
+
+    def test_list_models_tag_filter(self, capsys):
+        assert main(["list-models", "--tag", "framework"]) == 0
+        out = capsys.readouterr().out
+        assert "CALLOC" in out
+        assert "KNN" not in out
+
+    def test_list_attacks(self, capsys):
+        assert main(["list-attacks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("FGSM", "PGD", "MIM", "MITM-manipulation", "MITM-spoofing"):
+            assert name in out
+
+
+class TestRunSubcommand:
+    SPEC = {
+        "profile": "quick",
+        "models": ["KNN"],
+        "devices": ["OP3"],
+        "attack_methods": ["FGSM"],
+        "epsilons": [0.3],
+        "phi_percents": [50.0],
+    }
+
+    def test_run_with_spec_file(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(self.SPEC))
+        out_dir = tmp_path / "out"
+        exit_code = main(["run", "--spec", str(spec_path), "--output-dir", str(out_dir)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "KNN" in out
+        assert (out_dir / "results.csv").exists()
+        assert (out_dir / "spec.json").exists()
+
+    def test_run_with_model_flags(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--models", "KNN",
+                "--devices", "OP3",
+                "--methods", "FGSM",
+                "--epsilons", "0.3",
+                "--phis", "50",
+            ]
+        )
+        assert exit_code == 0
+        assert "KNN" in capsys.readouterr().out
+
+    def test_run_requires_spec_or_models(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_run_rejects_spec_and_models_together(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(self.SPEC))
+        with pytest.raises(SystemExit):
+            main(["run", "--spec", str(spec_path), "--models", "KNN"])
+
+    def test_run_rejects_spec_and_grid_flags_together(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(self.SPEC))
+        with pytest.raises(SystemExit, match="--devices"):
+            main(["run", "--spec", str(spec_path), "--devices", "S7"])
+        with pytest.raises(SystemExit, match="--epsilons"):
+            main(["run", "--spec", str(spec_path), "--epsilons", "0.5"])
+
+    def test_run_reports_effective_profile(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(self.SPEC))
+        assert main(["run", "--spec", str(spec_path)]) == 0
+        assert "profile=quick" in capsys.readouterr().out
+
+    def test_run_clean_error_for_unknown_model(self, capsys):
+        with pytest.raises(SystemExit, match="did you mean"):
+            main(["run", "--models", "KNNN"])
