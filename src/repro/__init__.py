@@ -46,7 +46,7 @@ from .api import (
     run_experiment,
 )
 from .core import CALLOC
-from .eval import ExperimentRunner, ResultSet
+from .eval import ArtifactCache, ExecutionEngine, ExperimentRunner, ResultSet
 from .interfaces import (
     DifferentiableLocalizer,
     ErrorSummary,
@@ -73,6 +73,8 @@ __all__ = [
     "ModelSpec",
     "ExperimentSpec",
     "ExperimentRunner",
+    "ExecutionEngine",
+    "ArtifactCache",
     "ResultSet",
     "run_experiment",
     "LocalizationService",

@@ -209,6 +209,31 @@ class ExperimentSpec:
             factories[model.display_name] = model_factory(model, config)
         return factories
 
+    def resolve_model_tasks(self, config: EvaluationConfig) -> List["ModelTask"]:
+        """The spec's models as engine :class:`~repro.eval.engine.ModelTask`\\ s.
+
+        Each task carries the resolved registry name plus the fully-merged
+        constructor params (profile defaults overlaid with the spec's
+        overrides) — everything the execution engine needs to build, train
+        and cache-key the model.
+        """
+        from .eval.engine import ModelTask
+
+        if not self.models:
+            raise ValueError("experiment spec declares no models")
+        tasks: List[ModelTask] = []
+        seen = set()
+        for model in self.models:
+            if model.display_name in seen:
+                raise ValueError(
+                    f"duplicate model label '{model.display_name}' in experiment spec"
+                )
+            seen.add(model.display_name)
+            params = default_model_params(model.name, config)
+            params.update(model.params)
+            tasks.append(ModelTask.create(model.display_name, model.name, params))
+        return tasks
+
     def resolve_scenarios(self, config: EvaluationConfig) -> List[AttackScenario]:
         """The attack grid: explicit scenarios, or the profile sweep."""
         if self.scenarios is not None:
@@ -294,16 +319,25 @@ class ExperimentSpec:
 
 
 def run_experiment(
-    spec: ExperimentSpec, config: Optional[EvaluationConfig] = None
+    spec: ExperimentSpec,
+    config: Optional[EvaluationConfig] = None,
+    jobs: int = 1,
+    cache: object = None,
 ) -> ResultSet:
     """Execute a declarative experiment spec and return its results.
 
     ``config`` overrides the spec's profile when given (the runner's cache of
     simulated campaigns can then be shared across specs by reusing one
     :class:`ExperimentRunner` via :meth:`ExperimentRunner.run`).
+
+    ``jobs`` fans independent work units (campaign simulation, model
+    training, attacked scoring) out over that many worker processes;
+    ``cache`` enables the on-disk artefact cache (``True``, a directory
+    path, or an :class:`~repro.eval.engine.ArtifactCache`).  Results are
+    bit-identical for every combination of ``jobs`` and cache state.
     """
     spec.validate()
-    runner = ExperimentRunner(config or spec.config())
+    runner = ExperimentRunner(config or spec.config(), jobs=jobs, cache=cache)
     return runner.run(spec)
 
 
@@ -348,13 +382,20 @@ class LocalizationService:
         model: str = "CALLOC",
         params: Optional[Mapping[str, Any]] = None,
         batch_size: int = 512,
+        _localizer: Optional[Localizer] = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.model_name = LOCALIZERS.resolve(model)
         self.params: Dict[str, Any] = dict(params or {})
         self.batch_size = batch_size
-        self.localizer: Localizer = make_localizer(self.model_name, **self.params)
+        # _localizer lets internal constructors (trained_on) inject an
+        # already-fitted model instead of building a throwaway untrained one.
+        self.localizer: Localizer = (
+            _localizer
+            if _localizer is not None
+            else make_localizer(self.model_name, **self.params)
+        )
         self._rp_positions: Optional[np.ndarray] = None
 
     # -- offline phase --------------------------------------------------
@@ -367,6 +408,47 @@ class LocalizationService:
         self.localizer.fit(dataset)
         self._rp_positions = np.asarray(dataset.rp_positions, dtype=np.float64)
         return self
+
+    @classmethod
+    def trained_on(
+        cls,
+        building: str,
+        model: str = "CALLOC",
+        params: Optional[Mapping[str, Any]] = None,
+        profile: str = "quick",
+        config: Optional[EvaluationConfig] = None,
+        cache: object = True,
+        batch_size: int = 512,
+    ) -> "LocalizationService":
+        """Fitted service for one paper building via the execution engine.
+
+        Campaign simulation and model training run through the same cached
+        work units as :func:`run_experiment`, so spinning up a service for a
+        building that an experiment already visited is a pure cache load —
+        no re-simulation, no re-training.  ``cache`` defaults to the shared
+        on-disk cache (pass ``False`` to force a fresh fit).
+        """
+        from .eval.engine import ArtifactCache, ModelTask, simulate_campaign, train_localizer
+
+        if config is None:
+            if profile not in PROFILES:
+                raise ValueError(
+                    f"unknown profile '{profile}'; expected one of {sorted(PROFILES)}"
+                )
+            config = PROFILES[profile]()
+        merged = default_model_params(model, config)
+        merged.update(params or {})
+        task = ModelTask.create(model, model, merged)
+        artifact_cache = ArtifactCache.coerce(cache)
+        campaign, campaign_digest = simulate_campaign(building, config, artifact_cache)
+        localizer, _ = train_localizer(task, campaign, campaign_digest, artifact_cache)
+        service = cls(
+            model=model, params=merged, batch_size=batch_size, _localizer=localizer
+        )
+        service._rp_positions = np.asarray(
+            campaign.train.rp_positions, dtype=np.float64
+        )
+        return service
 
     # -- online phase ---------------------------------------------------
     def localize(

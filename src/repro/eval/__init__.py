@@ -4,6 +4,7 @@ Regenerates every table and figure of the paper's evaluation section; see
 :mod:`repro.eval.figures` for the per-artefact entry points.
 """
 
+from .engine import ArtifactCache, ExecutionEngine, ModelTask, default_cache_dir
 from .metrics import ErrorStats, aggregate_stats, error_stats, improvement_factor
 from .reporting import ascii_table, format_factor_table, results_to_csv, text_heatmap
 from .runner import EvaluationRecord, ExperimentRunner, ResultSet
@@ -30,6 +31,10 @@ from .figures import (
 __all__ = [
     "DEFAULT_SOTA_BASELINES",
     "fig6_spec",
+    "ArtifactCache",
+    "ExecutionEngine",
+    "ModelTask",
+    "default_cache_dir",
     "ErrorStats",
     "error_stats",
     "aggregate_stats",

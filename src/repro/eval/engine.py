@@ -1,0 +1,873 @@
+"""Parallel, cache-aware execution engine for the evaluation grid.
+
+The paper's evaluation is one big product grid — models × buildings ×
+devices × attack scenarios — that :class:`~repro.eval.runner.ExperimentRunner`
+used to walk with nested serial loops, re-simulating campaigns and retraining
+models at every operating point.  This module decomposes that grid into a
+flat DAG of *work units* and executes independent units concurrently:
+
+``CampaignUnit``
+    Simulate the fingerprint campaign of one building (no dependencies).
+``TrainUnit``
+    Train one model on one building's offline database
+    (depends on that building's campaign).
+``EvalUnit``
+    Attack and score one trained model on one device's test set across a
+    list of scenarios (depends on the corresponding train unit).
+
+Two properties make the engine safe to parallelise:
+
+* **Deterministic per-unit seeding** — every unit derives all of its
+  randomness from seeds carried by its inputs (campaign seed, model seed,
+  per-scenario attack seed), never from shared mutable RNG state.  A unit
+  therefore computes bit-identical results whether it runs in-process, in a
+  worker, or in a different order relative to its siblings.  ``jobs=1`` and
+  ``jobs=N`` produce byte-for-byte identical :class:`ResultSet` contents.
+* **Content-addressed caching** — expensive intermediates are memoised on
+  disk under a key derived from *everything that determines their value*:
+  simulated campaigns by (building geometry, campaign config), trained
+  localizers by (registry name, constructor params, building, campaign key)
+  via :mod:`repro.nn.serialization` when the model supports the
+  state-array protocol, and attacked fingerprint batches by
+  (model key, device, scenario).  A warm rerun replays the whole grid from
+  the cache and is bit-identical to the cold run that populated it.
+
+The cache lives under ``~/.cache/repro`` by default; override with the
+``REPRO_CACHE_DIR`` environment variable, the ``cache`` argument of the
+Python entry points, or the ``--cache-dir`` / ``--no-cache`` CLI flags.
+Cache keys include the package version, so upgrading the library invalidates
+every cached artefact automatically.
+
+Typical use goes through :meth:`repro.eval.runner.ExperimentRunner.run`,
+:func:`repro.api.run_experiment` or the CLI (``repro run --jobs 4``); the
+engine can also be driven directly::
+
+    from repro.api import ExperimentSpec
+    from repro.eval.engine import ExecutionEngine
+
+    spec = ExperimentSpec(models=("CALLOC", "KNN"), profile="quick")
+    config = spec.config()
+    engine = ExecutionEngine(config, jobs=4, cache=True)
+    results = engine.run(
+        spec.resolve_model_tasks(config), spec.resolve_scenarios(config)
+    )
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from ..attacks.base import GradientProvider, ThreatModel
+from ..attacks.mitm import attack_dataset
+from ..attacks.surrogate import SurrogateGradientModel
+from ..data.campaign import CampaignConfig, LocalizationCampaign, collect_campaign
+from ..data.floorplan import paper_building
+from ..interfaces import Localizer
+from ..nn.serialization import load_state_dict, save_state_dict
+from ..registry import LOCALIZERS, make_attack, make_localizer
+from .metrics import ErrorStats, error_stats
+from .scenarios import AttackScenario, EvaluationConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports engine)
+    from .runner import ResultSet
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "default_cache_dir",
+    "cache_key",
+    "ArtifactCache",
+    "CacheStats",
+    "ModelTask",
+    "CampaignUnit",
+    "TrainUnit",
+    "EvalUnit",
+    "ExecutionPlan",
+    "build_plan",
+    "simulate_campaign",
+    "train_localizer",
+    "evaluate_unit",
+    "ExecutionEngine",
+]
+
+#: Environment variable overriding the default on-disk cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Default cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+# ----------------------------------------------------------------------
+# Content-addressed artefact cache
+# ----------------------------------------------------------------------
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-stable structure for cache-key hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(key): _canonical(value[key]) for key in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, Path):
+        return str(value)
+    return value
+
+
+def cache_key(kind: str, payload: Any) -> str:
+    """Content-addressed key: SHA-256 over the canonical JSON of ``payload``.
+
+    The package version is mixed into every key so a library upgrade never
+    serves artefacts computed by older code.
+    """
+    from .. import __version__
+
+    document = json.dumps(
+        {"kind": kind, "version": __version__, "payload": _canonical(payload)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`ArtifactCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+class ArtifactCache:
+    """On-disk content-addressed cache for expensive evaluation intermediates.
+
+    Artefacts are stored under ``<root>/<kind>/<digest[:2]>/<digest>.<ext>``
+    where ``digest`` is :func:`cache_key` over everything that determines the
+    artefact's content.  Writes are atomic (temp file + ``os.replace``) so a
+    crashed or concurrent run can never leave a truncated artefact behind —
+    important because worker processes of a parallel run share the cache.
+
+    Two storage formats are used:
+
+    * ``.npz`` via :mod:`repro.nn.serialization` for pure-array payloads
+      (model state arrays, attacked fingerprint batches);
+    * ``.pkl`` for structured objects (simulated campaigns, localizers that
+      do not implement the state-array protocol).
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None, enabled: bool = True) -> None:
+        self.root = Path(root).expanduser() if root is not None else default_cache_dir()
+        self.enabled = enabled
+        self.stats = CacheStats()
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def coerce(
+        cls, value: Union[None, bool, str, Path, "ArtifactCache"]
+    ) -> Optional["ArtifactCache"]:
+        """Normalise the ``cache`` argument accepted by every entry point.
+
+        ``None``/``False`` disable caching, ``True`` enables it at the
+        default root, a path enables it at that root, and an existing
+        :class:`ArtifactCache` is passed through unchanged.
+        """
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, ArtifactCache):
+            return value if value.enabled else None
+        return cls(value)
+
+    def spec(self) -> Optional[Tuple[str, bool]]:
+        """Picklable description from which workers rebuild this cache."""
+        return (str(self.root), self.enabled)
+
+    @classmethod
+    def from_spec(cls, spec: Optional[Tuple[str, bool]]) -> Optional["ArtifactCache"]:
+        if spec is None:
+            return None
+        root, enabled = spec
+        return cls(root, enabled=enabled) if enabled else None
+
+    # -- paths ----------------------------------------------------------
+    def path_for(self, kind: str, digest: str, extension: str) -> Path:
+        return self.root / kind / digest[:2] / f"{digest}.{extension}"
+
+    def _write_atomic(self, path: Path, writer) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        os.close(handle)
+        temp_path = Path(temp_name)
+        produced: Optional[Path] = None
+        try:
+            produced = writer(temp_path)
+            os.replace(produced if produced else temp_path, path)
+        finally:
+            # Writers may produce a sibling file (e.g. np.savez appends .npz);
+            # clean both so a failed write never litters the cache shard.
+            for leftover in (temp_path, produced):
+                if leftover is not None and leftover.exists():
+                    leftover.unlink()
+
+    # -- pickle payloads ------------------------------------------------
+    def get_pickle(self, kind: str, digest: str) -> Optional[Any]:
+        if not self.enabled:
+            return None
+        path = self.path_for(kind, digest, "pkl")
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        with path.open("rb") as stream:
+            value = pickle.load(stream)
+        self.stats.hits += 1
+        return value
+
+    def put_pickle(self, kind: str, digest: str, value: Any) -> None:
+        if not self.enabled:
+            return
+
+        def writer(temp_path: Path) -> None:
+            with temp_path.open("wb") as stream:
+                pickle.dump(value, stream, protocol=pickle.HIGHEST_PROTOCOL)
+
+        self._write_atomic(self.path_for(kind, digest, "pkl"), writer)
+        self.stats.stores += 1
+
+    # -- array payloads (via repro.nn.serialization) --------------------
+    def get_arrays(self, kind: str, digest: str) -> Optional[Dict[str, np.ndarray]]:
+        if not self.enabled:
+            return None
+        path = self.path_for(kind, digest, "npz")
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        arrays = load_state_dict(path)
+        self.stats.hits += 1
+        return arrays
+
+    def get_either(
+        self, kind: str, digest: str
+    ) -> Optional[Tuple[str, Any]]:
+        """Look one digest up across both storage formats (single hit/miss).
+
+        Returns ``("arrays", dict)`` or ``("pickle", object)``, or ``None`` —
+        used for artefacts whose format depends on the payload's capabilities
+        (trained models: state-arrays when supported, pickle otherwise).
+        """
+        if not self.enabled:
+            return None
+        npz_path = self.path_for(kind, digest, "npz")
+        if npz_path.exists():
+            self.stats.hits += 1
+            return ("arrays", load_state_dict(npz_path))
+        pkl_path = self.path_for(kind, digest, "pkl")
+        if pkl_path.exists():
+            self.stats.hits += 1
+            with pkl_path.open("rb") as stream:
+                return ("pickle", pickle.load(stream))
+        self.stats.misses += 1
+        return None
+
+    def put_arrays(self, kind: str, digest: str, arrays: Dict[str, np.ndarray]) -> None:
+        if not self.enabled:
+            return
+
+        def writer(temp_path: Path) -> Path:
+            # save_state_dict appends .npz when the suffix is missing; hand it
+            # a name that already carries it so the temp path stays stable.
+            return save_state_dict(arrays, temp_path.with_suffix(".npz"))
+
+        self._write_atomic(self.path_for(kind, digest, "npz"), writer)
+        self.stats.stores += 1
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"ArtifactCache(root={str(self.root)!r}, {state})"
+
+
+# ----------------------------------------------------------------------
+# Work units
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ModelTask:
+    """One model to train and evaluate: resolved registry name plus params.
+
+    ``label`` is the display name used in result records (it may differ from
+    ``name`` when one registry entry appears twice under different settings,
+    e.g. CALLOC vs its no-curriculum ablation).
+    """
+
+    label: str
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def create(cls, label: str, name: str, params: Mapping[str, Any]) -> "ModelTask":
+        return cls(
+            label=label,
+            name=LOCALIZERS.resolve(name),
+            params=tuple(sorted(params.items())),
+        )
+
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def build(self) -> Localizer:
+        """Instantiate a fresh, untrained localizer for this task."""
+        return make_localizer(self.name, **self.param_dict)
+
+
+@dataclass(frozen=True)
+class CampaignUnit:
+    """Simulate the fingerprint campaign of one building."""
+
+    building: str
+
+
+@dataclass(frozen=True)
+class TrainUnit:
+    """Train one model on one building's offline database."""
+
+    task: ModelTask
+    building: str
+
+
+@dataclass(frozen=True)
+class EvalUnit:
+    """Attack and score one trained model on one device's test set."""
+
+    task: ModelTask
+    building: str
+    device: str
+    scenarios: Tuple[AttackScenario, ...]
+
+
+@dataclass
+class ExecutionPlan:
+    """The flat DAG of an experiment: every unit, dependency-ordered.
+
+    ``eval_units`` are ordered model → building → device (scenarios inside
+    each unit keep the grid order), which is exactly the order the legacy
+    serial loops emitted records in; stitching unit results back together in
+    this order keeps parallel output byte-identical to the serial path.
+    """
+
+    campaign_units: Tuple[CampaignUnit, ...]
+    train_units: Tuple[TrainUnit, ...]
+    eval_units: Tuple[EvalUnit, ...]
+
+    @property
+    def num_units(self) -> int:
+        return len(self.campaign_units) + len(self.train_units) + len(self.eval_units)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.campaign_units)} campaign / {len(self.train_units)} train / "
+            f"{len(self.eval_units)} eval units"
+        )
+
+
+def build_plan(
+    tasks: Sequence[ModelTask],
+    scenarios: Sequence[AttackScenario],
+    buildings: Sequence[str],
+    devices: Sequence[str],
+) -> ExecutionPlan:
+    """Decompose an experiment grid into its work-unit DAG."""
+    if not tasks:
+        raise ValueError("execution plan needs at least one model task")
+    labels = [task.label for task in tasks]
+    duplicates = sorted({label for label in labels if labels.count(label) > 1})
+    if duplicates:
+        # Labels key the result-stitching maps; duplicates would silently
+        # score every duplicate against the last-trained model.
+        raise ValueError(f"duplicate model task labels {duplicates}")
+    scenario_tuple = tuple(scenarios)
+    campaign_units = tuple(CampaignUnit(building) for building in buildings)
+    train_units = tuple(
+        TrainUnit(task, building) for task in tasks for building in buildings
+    )
+    eval_units = tuple(
+        EvalUnit(task, building, device, scenario_tuple)
+        for task in tasks
+        for building in buildings
+        for device in devices
+    )
+    return ExecutionPlan(campaign_units, train_units, eval_units)
+
+
+# ----------------------------------------------------------------------
+# Unit execution (pure functions; run in-process or in worker processes)
+# ----------------------------------------------------------------------
+def _campaign_payload(building: str, config: EvaluationConfig) -> Dict[str, Any]:
+    return {
+        "building": building,
+        "rp_granularity_m": config.rp_granularity_m,
+        "campaign": CampaignConfig(seed=config.campaign_seed),
+    }
+
+
+def simulate_campaign(
+    building: str,
+    config: EvaluationConfig,
+    cache: Optional[ArtifactCache] = None,
+) -> Tuple[LocalizationCampaign, str]:
+    """Simulate (or load from cache) one building's campaign.
+
+    Returns the campaign together with its cache digest, which downstream
+    keys (trained models, attacked batches) embed so that a different
+    campaign configuration can never alias their artefacts.
+    """
+    digest = cache_key("campaign", _campaign_payload(building, config))
+    if cache is not None:
+        cached = cache.get_pickle("campaign", digest)
+        if cached is not None:
+            return cached, digest
+    campaign = collect_campaign(
+        paper_building(building, rp_granularity_m=config.rp_granularity_m),
+        CampaignConfig(seed=config.campaign_seed),
+    )
+    if cache is not None:
+        cache.put_pickle("campaign", digest, campaign)
+    return campaign, digest
+
+
+def _model_payload(task: ModelTask, campaign_digest: str) -> Dict[str, Any]:
+    return {
+        "model": task.name,
+        "params": task.param_dict,
+        "campaign": campaign_digest,
+    }
+
+
+def _supports_state_arrays(model: Localizer) -> bool:
+    return callable(getattr(model, "state_arrays", None)) and callable(
+        getattr(model, "load_state_arrays", None)
+    )
+
+
+def train_localizer(
+    task: ModelTask,
+    campaign: LocalizationCampaign,
+    campaign_digest: str,
+    cache: Optional[ArtifactCache] = None,
+) -> Tuple[Localizer, str]:
+    """Train (or load from cache) one model on one building's database.
+
+    Models implementing the state-array protocol (``state_arrays`` /
+    ``load_state_arrays``, as CALLOC and KNN do) are persisted as ``.npz``
+    archives through :mod:`repro.nn.serialization`; everything else falls
+    back to a pickle of the fitted localizer.
+    """
+    digest = cache_key("model", _model_payload(task, campaign_digest))
+    if cache is not None:
+        cached = cache.get_either("model", digest)
+        if cached is not None:
+            form, payload = cached
+            if form == "arrays":
+                model = task.build()
+                model.load_state_arrays(payload)
+                return model, digest
+            return payload, digest
+    model = task.build()
+    model.fit(campaign.train)
+    if cache is not None:
+        if _supports_state_arrays(model):
+            cache.put_arrays("model", digest, model.state_arrays())
+        else:
+            cache.put_pickle("model", digest, model)
+    return model, digest
+
+
+def _fit_surrogate(
+    model: Localizer, campaign: LocalizationCampaign, config: EvaluationConfig
+) -> SurrogateGradientModel:
+    """Fit the surrogate-gradient imitation of a non-differentiable victim.
+
+    Fully determined by (victim predictions on the training set, model seed),
+    so independent re-fits — e.g. one per worker process — are bit-identical
+    to the single shared surrogate of the serial path.
+    """
+    train = campaign.train
+    surrogate = SurrogateGradientModel(
+        num_aps=train.num_aps,
+        num_classes=train.num_classes,
+        epochs=80,
+        seed=config.model_seed,
+    )
+    surrogate.fit(train.features, model.predict(train.features))
+    return surrogate
+
+
+def evaluate_unit(
+    unit: EvalUnit,
+    model: Localizer,
+    model_digest: str,
+    campaign: LocalizationCampaign,
+    config: EvaluationConfig,
+    cache: Optional[ArtifactCache] = None,
+    surrogates: Optional[Dict[str, SurrogateGradientModel]] = None,
+) -> List[ErrorStats]:
+    """Score one (model, building, device) cell across its scenarios.
+
+    ``surrogates`` is an optional memo (keyed by model digest + surrogate
+    seed) letting the serial path reuse one surrogate across the eval units
+    of the same model, matching the legacy runner's behaviour; worker
+    processes pass a per-process module-level dict for the same effect.
+    """
+    test = campaign.test_for(unit.device)
+    victim: Optional[GradientProvider] = None
+    results: List[ErrorStats] = []
+    for scenario in unit.scenarios:
+        if scenario.is_clean:
+            attacked = test
+        else:
+            # model_seed seeds the surrogate used against non-differentiable
+            # victims, so it co-determines the perturbation and must be part
+            # of the key (for native white-box victims it is simply inert).
+            digest = cache_key(
+                "attacked",
+                {
+                    "model": model_digest,
+                    "device": unit.device,
+                    "scenario": scenario,
+                    "surrogate_seed": config.model_seed,
+                },
+            )
+            arrays = cache.get_arrays("attacked", digest) if cache is not None else None
+            if arrays is not None:
+                attacked = test.with_rss(arrays["rss_dbm"])
+            else:
+                if victim is None:
+                    if hasattr(model, "loss_gradient"):
+                        victim = model  # type: ignore[assignment]
+                    else:
+                        if surrogates is None:
+                            surrogates = {}
+                        memo_key = f"{model_digest}:{config.model_seed}"
+                        if memo_key not in surrogates:
+                            surrogates[memo_key] = _fit_surrogate(
+                                model, campaign, config
+                            )
+                        victim = surrogates[memo_key]
+                threat = ThreatModel(
+                    epsilon=scenario.epsilon,
+                    phi_percent=scenario.phi_percent,
+                    seed=scenario.seed,
+                )
+                attack = make_attack(scenario.method, threat)
+                attacked = attack_dataset(test, attack, victim)
+                if cache is not None:
+                    cache.put_arrays("attacked", digest, {"rss_dbm": attacked.rss_dbm})
+        results.append(error_stats(model.evaluate(attacked)))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Worker entry points (module-level so ProcessPoolExecutor can pickle them)
+# ----------------------------------------------------------------------
+def _worker_campaign(
+    building: str, config: EvaluationConfig, cache_spec: Optional[Tuple[str, bool]]
+) -> Tuple[LocalizationCampaign, str]:
+    campaign, digest = simulate_campaign(
+        building, config, ArtifactCache.from_spec(cache_spec)
+    )
+    _WORKER_CAMPAIGNS[digest] = campaign
+    return campaign, digest
+
+
+#: Per-worker-process campaign memo.  Campaigns are large (every fingerprint
+#: array of a building), so train/eval submissions ship only the campaign
+#: *digest*; workers rebuild the campaign once per process — from this memo,
+#: the on-disk cache, or a deterministic re-simulation — instead of paying
+#: pickle/unpickle IPC for the full payload on every unit.
+_WORKER_CAMPAIGNS: Dict[str, LocalizationCampaign] = {}
+
+
+def _worker_get_campaign(
+    building: str,
+    campaign_digest: str,
+    config: EvaluationConfig,
+    cache_spec: Optional[Tuple[str, bool]],
+) -> LocalizationCampaign:
+    campaign = _WORKER_CAMPAIGNS.get(campaign_digest)
+    if campaign is None:
+        campaign, digest = simulate_campaign(
+            building, config, ArtifactCache.from_spec(cache_spec)
+        )
+        assert digest == campaign_digest, "campaign digest mismatch across processes"
+        _WORKER_CAMPAIGNS[campaign_digest] = campaign
+    return campaign
+
+
+def _worker_train(
+    task: ModelTask,
+    building: str,
+    campaign_digest: str,
+    config: EvaluationConfig,
+    cache_spec: Optional[Tuple[str, bool]],
+) -> Tuple[Localizer, str]:
+    campaign = _worker_get_campaign(building, campaign_digest, config, cache_spec)
+    return train_localizer(
+        task, campaign, campaign_digest, ArtifactCache.from_spec(cache_spec)
+    )
+
+
+#: Per-worker-process surrogate memo: pool workers outlive individual units,
+#: so a surrogate fitted for one (model, device) cell is reused by every later
+#: cell of the same model that lands in the same process (keys embed the
+#: campaign digest via the model digest, so reuse can never cross campaigns).
+_WORKER_SURROGATES: Dict[str, SurrogateGradientModel] = {}
+
+
+def _worker_eval(
+    unit: EvalUnit,
+    model: Localizer,
+    model_digest: str,
+    campaign_digest: str,
+    config: EvaluationConfig,
+    cache_spec: Optional[Tuple[str, bool]],
+) -> List[ErrorStats]:
+    campaign = _worker_get_campaign(
+        unit.building, campaign_digest, config, cache_spec
+    )
+    return evaluate_unit(
+        unit,
+        model,
+        model_digest,
+        campaign,
+        config,
+        ArtifactCache.from_spec(cache_spec),
+        surrogates=_WORKER_SURROGATES,
+    )
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class ExecutionEngine:
+    """Executes an experiment grid as a DAG of cached, parallelisable units.
+
+    Parameters
+    ----------
+    config:
+        Evaluation profile supplying the default grid and all seeds.
+    jobs:
+        Number of worker processes.  ``1`` (the default) runs every unit
+        in-process — the exact legacy serial path; ``>1`` fans independent
+        units out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+        Either way the results are bit-identical.
+    cache:
+        Anything :meth:`ArtifactCache.coerce` accepts: ``None``/``False``
+        (no caching), ``True`` (default location), a directory path, or an
+        :class:`ArtifactCache` instance.
+    campaigns:
+        Optional pre-seeded ``building name -> campaign`` memo, shared with
+        the caller (e.g. :class:`~repro.eval.runner.ExperimentRunner` passes
+        its own in-memory campaign cache).
+    """
+
+    def __init__(
+        self,
+        config: Optional[EvaluationConfig] = None,
+        jobs: int = 1,
+        cache: Union[None, bool, str, Path, ArtifactCache] = None,
+        campaigns: Optional[Dict[str, LocalizationCampaign]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.config = config or EvaluationConfig.quick()
+        self.jobs = int(jobs)
+        self.cache = ArtifactCache.coerce(cache)
+        self._campaigns = campaigns if campaigns is not None else {}
+
+    # -- public API -----------------------------------------------------
+    def run(
+        self,
+        tasks: Sequence[ModelTask],
+        scenarios: Sequence[AttackScenario],
+        buildings: Optional[Sequence[str]] = None,
+        devices: Optional[Sequence[str]] = None,
+    ) -> "ResultSet":
+        """Execute the grid and return records in canonical (serial) order."""
+        from .runner import EvaluationRecord, ResultSet
+
+        buildings = tuple(buildings) if buildings is not None else self.config.buildings
+        devices = tuple(devices) if devices is not None else self.config.devices
+        plan = build_plan(tasks, scenarios, buildings, devices)
+        if self.jobs == 1:
+            stats_by_unit = self._execute_serial(plan)
+        else:
+            stats_by_unit = self._execute_parallel(plan)
+        results = ResultSet()
+        for index, unit in enumerate(plan.eval_units):
+            for scenario, stats in zip(unit.scenarios, stats_by_unit[index]):
+                results.add(
+                    EvaluationRecord(
+                        model=unit.task.label,
+                        building=unit.building,
+                        device=unit.device,
+                        scenario=scenario,
+                        stats=stats,
+                    )
+                )
+        return results
+
+    def campaign(self, building: str) -> LocalizationCampaign:
+        """Return (and memoise) the simulated campaign for one building."""
+        return self._campaign_with_digest(building)[0]
+
+    # -- serial path ----------------------------------------------------
+    def _campaign_with_digest(self, building: str) -> Tuple[LocalizationCampaign, str]:
+        if building in self._campaigns:
+            digest = cache_key("campaign", _campaign_payload(building, self.config))
+            return self._campaigns[building], digest
+        campaign, digest = simulate_campaign(building, self.config, self.cache)
+        self._campaigns[building] = campaign
+        return campaign, digest
+
+    def _execute_serial(self, plan: ExecutionPlan) -> Dict[int, List[ErrorStats]]:
+        campaigns: Dict[str, Tuple[LocalizationCampaign, str]] = {}
+        for unit in plan.campaign_units:
+            campaigns[unit.building] = self._campaign_with_digest(unit.building)
+        models: Dict[Tuple[str, str], Tuple[Localizer, str]] = {}
+        for train_unit in plan.train_units:
+            campaign, campaign_digest = campaigns[train_unit.building]
+            models[(train_unit.task.label, train_unit.building)] = train_localizer(
+                train_unit.task, campaign, campaign_digest, self.cache
+            )
+        surrogates: Dict[str, SurrogateGradientModel] = {}
+        stats_by_unit: Dict[int, List[ErrorStats]] = {}
+        for index, eval_unit in enumerate(plan.eval_units):
+            campaign, _ = campaigns[eval_unit.building]
+            model, model_digest = models[(eval_unit.task.label, eval_unit.building)]
+            stats_by_unit[index] = evaluate_unit(
+                eval_unit,
+                model,
+                model_digest,
+                campaign,
+                self.config,
+                self.cache,
+                surrogates=surrogates,
+            )
+        return stats_by_unit
+
+    # -- parallel path --------------------------------------------------
+    def _execute_parallel(self, plan: ExecutionPlan) -> Dict[int, List[ErrorStats]]:
+        """Dependency-driven execution over a process pool.
+
+        Units are submitted the moment their dependencies resolve: campaign
+        units immediately, each train unit when its building's campaign
+        lands, each eval unit when its model finishes training.  Completion
+        order is nondeterministic but irrelevant — results are keyed by unit
+        index and stitched back in plan order by :meth:`run`.
+        """
+        cache_spec = self.cache.spec() if self.cache is not None else None
+        campaigns: Dict[str, Tuple[LocalizationCampaign, str]] = {}
+        stats_by_unit: Dict[int, List[ErrorStats]] = {}
+
+        # Dependency indices: building -> train-unit ids, train id -> eval ids.
+        trains_by_building: Dict[str, List[int]] = {}
+        for train_index, train_unit in enumerate(plan.train_units):
+            trains_by_building.setdefault(train_unit.building, []).append(train_index)
+        evals_by_train: Dict[Tuple[str, str], List[int]] = {}
+        for eval_index, eval_unit in enumerate(plan.eval_units):
+            key = (eval_unit.task.label, eval_unit.building)
+            evals_by_train.setdefault(key, []).append(eval_index)
+
+        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
+            pending = {}
+
+            def submit_trains(building: str, digest: str) -> None:
+                for train_index in trains_by_building.get(building, ()):
+                    train_unit = plan.train_units[train_index]
+                    train_future = executor.submit(
+                        _worker_train,
+                        train_unit.task,
+                        building,
+                        digest,
+                        self.config,
+                        cache_spec,
+                    )
+                    pending[train_future] = ("train", train_unit)
+
+            for unit in plan.campaign_units:
+                if unit.building in self._campaigns:
+                    # Pre-seeded memo (e.g. a runner reused across specs):
+                    # skip the campaign worker and unblock training directly.
+                    campaign, digest = self._campaign_with_digest(unit.building)
+                    campaigns[unit.building] = (campaign, digest)
+                    submit_trains(unit.building, digest)
+                    continue
+                future = executor.submit(
+                    _worker_campaign, unit.building, self.config, cache_spec
+                )
+                pending[future] = ("campaign", unit)
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    kind, unit = pending.pop(future)
+                    outcome = future.result()
+                    if kind == "campaign":
+                        campaign, digest = outcome
+                        campaigns[unit.building] = (campaign, digest)
+                        self._campaigns.setdefault(unit.building, campaign)
+                        submit_trains(unit.building, digest)
+                    elif kind == "train":
+                        model, model_digest = outcome
+                        _, campaign_digest = campaigns[unit.building]
+                        key = (unit.task.label, unit.building)
+                        for eval_index in evals_by_train.get(key, ()):
+                            eval_unit = plan.eval_units[eval_index]
+                            eval_future = executor.submit(
+                                _worker_eval,
+                                eval_unit,
+                                model,
+                                model_digest,
+                                campaign_digest,
+                                self.config,
+                                cache_spec,
+                            )
+                            pending[eval_future] = ("eval", eval_index)
+                    else:
+                        stats_by_unit[unit] = outcome
+        return stats_by_unit

@@ -200,10 +200,14 @@ def table3_model_budget(num_aps: int = 165, num_classes: int = 61) -> Dict[str, 
 # ----------------------------------------------------------------------
 # Figures
 # ----------------------------------------------------------------------
-def fig1_attack_impact(config: Optional[EvaluationConfig] = None) -> Dict[str, object]:
+def fig1_attack_impact(
+    config: Optional[EvaluationConfig] = None,
+    jobs: int = 1,
+    cache: object = None,
+) -> Dict[str, object]:
     """Fig. 1: localization error of KNN / GPC / DNN with and without FGSM."""
     config = config or EvaluationConfig.quick()
-    runner = ExperimentRunner(config)
+    runner = ExperimentRunner(config, jobs=jobs, cache=cache)
     scenarios = (
         AttackScenario(method="FGSM", epsilon=0.0, phi_percent=0.0),
         AttackScenario(method="FGSM", epsilon=0.3, phi_percent=50.0, seed=config.attack_seeds[0]),
@@ -233,10 +237,14 @@ def fig1_attack_impact(config: Optional[EvaluationConfig] = None) -> Dict[str, o
     return {"summary": summary, "results": results, "rows": rows, "text": text}
 
 
-def fig4_heatmaps(config: Optional[EvaluationConfig] = None) -> Dict[str, object]:
+def fig4_heatmaps(
+    config: Optional[EvaluationConfig] = None,
+    jobs: int = 1,
+    cache: object = None,
+) -> Dict[str, object]:
     """Fig. 4: CALLOC mean-error heatmaps (device × building) per attack method."""
     config = config or EvaluationConfig.quick()
-    runner = ExperimentRunner(config)
+    runner = ExperimentRunner(config, jobs=jobs, cache=cache)
     spec = _spec(("CALLOC",), buildings=config.buildings, name="fig4")
     results = runner.run(spec)
     heatmaps: Dict[str, np.ndarray] = {}
@@ -259,12 +267,16 @@ def fig4_heatmaps(config: Optional[EvaluationConfig] = None) -> Dict[str, object
     return {"heatmaps": heatmaps, "results": results, "text": "\n\n".join(texts)}
 
 
-def fig5_curriculum(config: Optional[EvaluationConfig] = None) -> Dict[str, object]:
+def fig5_curriculum(
+    config: Optional[EvaluationConfig] = None,
+    jobs: int = 1,
+    cache: object = None,
+) -> Dict[str, object]:
     """Fig. 5: curriculum (CALLOC) vs no-curriculum (NC) across attacks and ε."""
     from ..api import ModelSpec
 
     config = config or EvaluationConfig.quick()
-    runner = ExperimentRunner(config)
+    runner = ExperimentRunner(config, jobs=jobs, cache=cache)
     spec = _spec(
         (
             ModelSpec("CALLOC"),
@@ -299,10 +311,12 @@ def fig5_curriculum(config: Optional[EvaluationConfig] = None) -> Dict[str, obje
 def fig6_sota(
     config: Optional[EvaluationConfig] = None,
     baselines: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache: object = None,
 ) -> Dict[str, object]:
     """Fig. 6: CALLOC vs state-of-the-art frameworks (mean and worst-case error)."""
     config = config or EvaluationConfig.quick()
-    runner = ExperimentRunner(config)
+    runner = ExperimentRunner(config, jobs=jobs, cache=cache)
     spec = fig6_spec(baselines)
     results = runner.run(spec)
 
@@ -328,10 +342,12 @@ def fig7_phi_sweep(
     baselines: Optional[Sequence[str]] = None,
     method: str = "FGSM",
     epsilon: float = 0.1,
+    jobs: int = 1,
+    cache: object = None,
 ) -> Dict[str, object]:
     """Fig. 7: mean error vs number of attacked APs ø (FGSM, ε = 0.1)."""
     config = config or EvaluationConfig.quick()
-    runner = ExperimentRunner(config)
+    runner = ExperimentRunner(config, jobs=jobs, cache=cache)
     names = ("CALLOC",) + (
         tuple(baselines) if baselines is not None else DEFAULT_SOTA_BASELINES
     )
@@ -361,12 +377,16 @@ def fig7_phi_sweep(
     }
 
 
-def ablation_adaptive(config: Optional[EvaluationConfig] = None) -> Dict[str, object]:
+def ablation_adaptive(
+    config: Optional[EvaluationConfig] = None,
+    jobs: int = 1,
+    cache: object = None,
+) -> Dict[str, object]:
     """Sec. IV.D ablation: adaptive curriculum controller vs static curriculum."""
     from ..api import ModelSpec
 
     config = config or EvaluationConfig.quick()
-    runner = ExperimentRunner(config)
+    runner = ExperimentRunner(config, jobs=jobs, cache=cache)
     labels = ("CALLOC-adaptive", "CALLOC-static")
     spec = _spec(
         (

@@ -56,14 +56,21 @@ class EvaluationRecord:
     stats: ErrorStats
 
     def as_dict(self) -> Dict[str, object]:
-        """Flat dictionary (for CSV export and report tables)."""
+        """Flat dictionary (for CSV export and report tables).
+
+        Clean rows (ε = 0 or ø = 0) report ``attack="clean"`` **and** zero in
+        both the ε and ø columns: a scenario like ``(ε=0.3, ø=0)`` carries no
+        perturbation, so exporting its nominal ε would show a phantom attack
+        strength in CSV exports.
+        """
+        clean = self.scenario.is_clean
         row: Dict[str, object] = {
             "model": self.model,
             "building": self.building,
             "device": self.device,
-            "attack": self.scenario.method if not self.scenario.is_clean else "clean",
-            "epsilon": self.scenario.epsilon,
-            "phi": self.scenario.phi_percent,
+            "attack": "clean" if clean else self.scenario.method,
+            "epsilon": 0.0 if clean else self.scenario.epsilon,
+            "phi": 0.0 if clean else self.scenario.phi_percent,
         }
         row.update(self.stats.as_dict())
         return row
@@ -138,12 +145,34 @@ class ResultSet:
         """All records as flat dictionaries."""
         return [record.as_dict() for record in self.records]
 
+    def to_records(self) -> List[Dict[str, object]]:
+        """Alias of :meth:`to_rows`; canonical form for equality comparisons.
+
+        Two runs of the same experiment are bit-identical exactly when their
+        ``to_records()`` lists compare equal (order included).
+        """
+        return self.to_rows()
+
 
 class ExperimentRunner:
-    """Coordinates campaigns, model training and attacked evaluation."""
+    """Coordinates campaigns, model training and attacked evaluation.
 
-    def __init__(self, config: Optional[EvaluationConfig] = None) -> None:
+    ``run`` executes declarative specs through the parallel, cache-aware
+    :class:`~repro.eval.engine.ExecutionEngine`; ``jobs``/``cache`` select
+    worker-process count and on-disk memoisation (see the engine docs).  The
+    explicit ``evaluate_model``/``evaluate_models`` methods remain the
+    in-process serial reference path.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EvaluationConfig] = None,
+        jobs: int = 1,
+        cache: object = None,
+    ) -> None:
         self.config = config or EvaluationConfig.quick()
+        self.jobs = jobs
+        self.cache = cache
         self._campaigns: Dict[str, LocalizationCampaign] = {}
         self._surrogates: Dict[int, SurrogateGradientModel] = {}
 
@@ -253,16 +282,34 @@ class ExperimentRunner:
             )
         return results
 
-    def run(self, spec: "ExperimentSpec") -> ResultSet:
+    def run(
+        self,
+        spec: "ExperimentSpec",
+        jobs: Optional[int] = None,
+        cache: object = None,
+    ) -> ResultSet:
         """Execute a declarative :class:`~repro.api.ExperimentSpec`.
 
         The spec's models and scenario grid are resolved against this
         runner's config (its profile is ignored here — build the runner from
         ``spec.config()``, or use :func:`repro.api.run_experiment`, to honor
         it).  Reusing one runner across specs shares the campaign cache.
+
+        Execution goes through :class:`~repro.eval.engine.ExecutionEngine`:
+        ``jobs``/``cache`` override the runner-level settings for this call
+        (``jobs=1``, the default, is the serial path; results are
+        bit-identical at any job count).
         """
-        factories = spec.resolve_factories(self.config)
+        from .engine import ExecutionEngine
+
+        tasks = spec.resolve_model_tasks(self.config)
         scenarios = spec.resolve_scenarios(self.config)
-        return self.evaluate_models(
-            factories, scenarios, buildings=spec.buildings, devices=spec.devices
+        engine = ExecutionEngine(
+            self.config,
+            jobs=self.jobs if jobs is None else jobs,
+            cache=self.cache if cache is None else cache,
+            campaigns=self._campaigns,
+        )
+        return engine.run(
+            tasks, scenarios, buildings=spec.buildings, devices=spec.devices
         )

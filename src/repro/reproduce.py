@@ -54,11 +54,14 @@ from .eval import (
 
 __all__ = ["main", "build_parser", "run_artefact", "ARTEFACTS"]
 
-#: Artefact name -> callable(config) -> result dict with a "text" rendering.
+#: Artefact name -> callable(config, jobs=..., cache=...) -> result dict with a
+#: "text" rendering.  The static tables ignore the engine options.
 ARTEFACTS: Dict[str, Callable] = {
-    "table1": lambda config: table1_devices(),
-    "table2": lambda config: table2_buildings(rp_granularity_m=config.rp_granularity_m),
-    "table3": lambda config: table3_model_budget(),
+    "table1": lambda config, **engine: table1_devices(),
+    "table2": lambda config, **engine: table2_buildings(
+        rp_granularity_m=config.rp_granularity_m
+    ),
+    "table3": lambda config, **engine: table3_model_budget(),
     "fig1": fig1_attack_impact,
     "fig4": fig4_heatmaps,
     "fig5": fig5_curriculum,
@@ -84,6 +87,26 @@ def _add_common_options(parser: argparse.ArgumentParser, suppress: bool) -> None
         type=Path,
         default=argparse.SUPPRESS if suppress else None,
         help="optional directory to write rendered artefacts / CSV results to",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=argparse.SUPPRESS if suppress else 1,
+        help="worker processes for the evaluation engine (1 = serial; results "
+        "are bit-identical at any job count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=argparse.SUPPRESS if suppress else None,
+        help="on-disk artefact cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        default=argparse.SUPPRESS if suppress else False,
+        help="disable the on-disk artefact cache for this invocation",
     )
 
 
@@ -160,9 +183,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_artefact(name: str, config: EvaluationConfig, output_dir: Optional[Path]) -> str:
+def _engine_options(args: argparse.Namespace) -> Dict[str, object]:
+    """``jobs``/``cache`` engine options from parsed CLI flags.
+
+    Caching defaults to **on** for the CLI (at ``$REPRO_CACHE_DIR`` or
+    ``~/.cache/repro``); ``--no-cache`` disables it, ``--cache-dir`` moves it.
+    """
+    jobs = getattr(args, "jobs", 1)
+    if getattr(args, "no_cache", False):
+        cache: object = False
+    else:
+        cache_dir = getattr(args, "cache_dir", None)
+        cache = cache_dir if cache_dir is not None else True
+    return {"jobs": jobs, "cache": cache}
+
+
+def run_artefact(
+    name: str,
+    config: EvaluationConfig,
+    output_dir: Optional[Path],
+    jobs: int = 1,
+    cache: object = None,
+) -> str:
     """Run one artefact and optionally persist its rendering."""
-    result = ARTEFACTS[name](config)
+    result = ARTEFACTS[name](config, jobs=jobs, cache=cache)
     text = result["text"]
     if output_dir is not None:
         output_dir.mkdir(parents=True, exist_ok=True)
@@ -196,11 +240,17 @@ def _artefact_names(requested: List[str]) -> List[str]:
     return sorted(ARTEFACTS) if "all" in requested else list(dict.fromkeys(requested))
 
 
-def _cmd_artefacts(names: List[str], profile: str, output_dir: Optional[Path]) -> int:
+def _cmd_artefacts(
+    names: List[str],
+    profile: str,
+    output_dir: Optional[Path],
+    jobs: int = 1,
+    cache: object = None,
+) -> int:
     config = _PROFILES[profile]()
     for name in names:
         print(f"=== {name} ({profile} profile) ===")
-        print(run_artefact(name, config, output_dir))
+        print(run_artefact(name, config, output_dir, jobs=jobs, cache=cache))
         print()
     return 0
 
@@ -242,12 +292,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         raise SystemExit("run requires --spec FILE or --models NAME [NAME ...]")
 
+    engine = _engine_options(args)
     label = f" '{spec.name}'" if spec.name else ""
     print(
         f"running spec{label}: profile={spec.profile}, "
-        f"{len(spec.models)} model(s)"
+        f"{len(spec.models)} model(s), jobs={engine['jobs']}"
     )
-    results = run_experiment(spec)
+    results = run_experiment(spec, **engine)
     rows = []
     for model_name in results.models():
         summary = results.filter(model=model_name).error_summary()
@@ -278,11 +329,14 @@ def main(argv: Optional[list] = None) -> int:
             raise SystemExit(f"error: {error}")
     if command == "artefact":
         return _cmd_artefacts(
-            _artefact_names(args.names), args.profile, args.output_dir
+            _artefact_names(args.names),
+            args.profile,
+            args.output_dir,
+            **_engine_options(args),
         )
     # Legacy interface: no subcommand, `--artefact` selects the artefacts.
     names = sorted(ARTEFACTS) if args.artefact == "all" else [args.artefact]
-    return _cmd_artefacts(names, args.profile, args.output_dir)
+    return _cmd_artefacts(names, args.profile, args.output_dir, **_engine_options(args))
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

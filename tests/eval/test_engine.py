@@ -1,0 +1,206 @@
+"""Tests for the parallel, cache-aware execution engine.
+
+Covers the determinism guarantees the engine advertises (``jobs=N`` and the
+warm-cache path are bit-identical to the serial cold path), the
+content-addressed cache keying rules, and the engine-backed entry points
+(:func:`repro.api.run_experiment`, :meth:`LocalizationService.trained_on`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentSpec, LocalizationService, run_experiment
+from repro.eval import ExperimentRunner
+from repro.eval.engine import (
+    ArtifactCache,
+    ExecutionEngine,
+    ModelTask,
+    build_plan,
+    cache_key,
+    default_cache_dir,
+    simulate_campaign,
+    train_localizer,
+)
+from repro.eval.scenarios import AttackScenario, EvaluationConfig
+
+
+@pytest.fixture(scope="module")
+def quick_spec() -> ExperimentSpec:
+    """Quick-profile spec, restricted enough to keep the test suite fast.
+
+    Uses the quick profile's grid definition (building, granularity, seeds)
+    with a reduced model/device/scenario selection; KNN exercises the
+    surrogate-gradient path, DNN the native white-box path.
+    """
+    return ExperimentSpec(
+        models=("KNN", "DNN"),
+        profile="quick",
+        devices=("OP3", "S7"),
+        attack_methods=("FGSM",),
+        epsilons=(0.1, 0.3),
+        phi_percents=(10.0, 50.0),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_records(quick_spec):
+    return run_experiment(quick_spec).to_records()
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self, quick_spec, serial_records):
+        """jobs=4 and jobs=1 produce identical ResultSet.to_records()."""
+        parallel = run_experiment(quick_spec, jobs=4)
+        assert parallel.to_records() == serial_records
+
+    def test_engine_matches_legacy_serial_runner(self, quick_spec, serial_records):
+        config = quick_spec.config()
+        runner = ExperimentRunner(config)
+        legacy = runner.evaluate_models(
+            quick_spec.resolve_factories(config),
+            quick_spec.resolve_scenarios(config),
+            buildings=quick_spec.buildings,
+            devices=quick_spec.devices,
+        )
+        assert legacy.to_records() == serial_records
+
+    def test_warm_cache_is_bit_identical_to_cold(
+        self, quick_spec, serial_records, tmp_path
+    ):
+        cache_dir = tmp_path / "cache"
+        cold = run_experiment(quick_spec, cache=cache_dir)
+        warm = run_experiment(quick_spec, cache=cache_dir)
+        assert cold.to_records() == serial_records
+        assert warm.to_records() == serial_records
+
+    def test_warm_cache_serves_all_artifacts(self, quick_spec, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        run_experiment(quick_spec, cache=cache)
+        warm_cache = ArtifactCache(tmp_path / "cache")
+        run_experiment(quick_spec, cache=warm_cache)
+        assert warm_cache.stats.misses == 0
+        assert warm_cache.stats.hits > 0
+        # 1 campaign + 2 models + 2 models x 2 devices x 4 attacked batches.
+        assert warm_cache.stats.hits == 1 + 2 + 2 * 2 * 4
+
+    def test_parallel_warm_cache_identical(self, quick_spec, serial_records, tmp_path):
+        run_experiment(quick_spec, cache=tmp_path / "cache")
+        warm_parallel = run_experiment(quick_spec, jobs=3, cache=tmp_path / "cache")
+        assert warm_parallel.to_records() == serial_records
+
+
+class TestArtifactCache:
+    def test_coerce(self, tmp_path):
+        assert ArtifactCache.coerce(None) is None
+        assert ArtifactCache.coerce(False) is None
+        enabled = ArtifactCache.coerce(True)
+        assert enabled is not None and enabled.root == default_cache_dir()
+        at_path = ArtifactCache.coerce(tmp_path)
+        assert at_path.root == tmp_path
+        assert ArtifactCache.coerce(at_path) is at_path
+
+    def test_key_is_stable_and_sensitive(self):
+        config = EvaluationConfig.quick()
+        payload = {"building": "Building 1", "config": config}
+        assert cache_key("campaign", payload) == cache_key("campaign", payload)
+        other = {"building": "Building 2", "config": config}
+        assert cache_key("campaign", payload) != cache_key("campaign", other)
+        assert cache_key("model", payload) != cache_key("campaign", payload)
+
+    def test_model_params_change_the_key(self):
+        a = ModelTask.create("KNN", "KNN", {"k": 3})
+        b = ModelTask.create("KNN", "KNN", {"k": 5})
+        assert cache_key("model", {"m": a}) != cache_key("model", {"m": b})
+
+    def test_pickle_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get_pickle("thing", "ab" * 32) is None
+        cache.put_pickle("thing", "ab" * 32, {"value": 42})
+        assert cache.get_pickle("thing", "ab" * 32) == {"value": 42}
+        assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_array_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        arrays = {"a": np.arange(6.0).reshape(2, 3), "b": np.array([1, 2])}
+        digest = "cd" * 32
+        cache.put_arrays("batch", digest, arrays)
+        loaded = cache.get_arrays("batch", digest)
+        np.testing.assert_array_equal(loaded["a"], arrays["a"])
+        np.testing.assert_array_equal(loaded["b"], arrays["b"])
+
+    def test_disabled_cache_stores_nothing(self, tmp_path):
+        cache = ArtifactCache(tmp_path, enabled=False)
+        cache.put_pickle("thing", "ef" * 32, 1)
+        assert cache.get_pickle("thing", "ef" * 32) is None
+        assert not any(tmp_path.iterdir())
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+
+class TestPlan:
+    def test_unit_counts(self):
+        tasks = [ModelTask.create("KNN", "KNN", {}), ModelTask.create("DNN", "DNN", {})]
+        scenarios = (AttackScenario(), AttackScenario(epsilon=0.2))
+        plan = build_plan(tasks, scenarios, ("Building 1", "Building 2"), ("OP3",))
+        assert len(plan.campaign_units) == 2
+        assert len(plan.train_units) == 4
+        assert len(plan.eval_units) == 4  # 2 models x 2 buildings x 1 device
+        assert plan.num_units == 10
+        assert "2 campaign" in plan.describe()
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(ValueError, match="at least one model"):
+            build_plan([], (), ("Building 1",), ("OP3",))
+
+    def test_engine_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ExecutionEngine(EvaluationConfig.quick(), jobs=0)
+
+
+class TestEngineUnits:
+    def test_campaign_cache_roundtrip(self, tmp_path):
+        config = EvaluationConfig(
+            buildings=("Building 3",), rp_granularity_m=8.0, campaign_seed=7
+        )
+        cache = ArtifactCache(tmp_path)
+        cold, digest_cold = simulate_campaign("Building 3", config, cache)
+        warm, digest_warm = simulate_campaign("Building 3", config, cache)
+        assert digest_cold == digest_warm
+        np.testing.assert_array_equal(cold.train.rss_dbm, warm.train.rss_dbm)
+        assert cache.stats.hits == 1
+
+    def test_trained_model_cache_roundtrip(self, tmp_path):
+        config = EvaluationConfig(
+            buildings=("Building 3",), rp_granularity_m=8.0, campaign_seed=7
+        )
+        cache = ArtifactCache(tmp_path)
+        campaign, digest = simulate_campaign("Building 3", config, cache)
+        task = ModelTask.create("KNN", "KNN", {"k": 3})
+        cold, model_digest = train_localizer(task, campaign, digest, cache)
+        warm, warm_digest = train_localizer(task, campaign, digest, cache)
+        assert model_digest == warm_digest
+        features = campaign.test_for("OP3").features
+        np.testing.assert_array_equal(cold.predict(features), warm.predict(features))
+
+    def test_service_trained_on_uses_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        service = LocalizationService.trained_on(
+            "Building 1", model="KNN", profile="quick", cache=cache
+        )
+        assert service.is_fitted
+        warm_cache = ArtifactCache(tmp_path)
+        again = LocalizationService.trained_on(
+            "Building 1", model="KNN", profile="quick", cache=warm_cache
+        )
+        assert warm_cache.stats.misses == 0
+        assert warm_cache.stats.hits == 2  # campaign + trained model
+        # Same fitted state: identical predictions on identical queries.
+        num_aps = service.localizer._features.shape[1]
+        queries = np.random.default_rng(123).random((6, num_aps))
+        np.testing.assert_array_equal(
+            service.localize(queries).labels, again.localize(queries).labels
+        )

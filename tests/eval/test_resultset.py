@@ -1,0 +1,119 @@
+"""Focused coverage for ResultSet querying and EvaluationRecord export.
+
+Satellites of the engine PR: float-tolerant ``ResultSet.filter`` keys,
+``error_summary`` edge cases (empty set, single record, mixed clean/attacked
+scenarios), and the clean-row ε/ø export fix (a scenario with ε = 0 *or*
+ø = 0 carries no perturbation, so its CSV row must not show a phantom attack
+strength).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import AttackScenario, EvaluationRecord, ResultSet, error_stats
+
+
+def record(
+    model="KNN",
+    building="Building 1",
+    device="OP3",
+    method="FGSM",
+    epsilon=0.1,
+    phi=10.0,
+    errors=(1.0, 2.0),
+):
+    return EvaluationRecord(
+        model=model,
+        building=building,
+        device=device,
+        scenario=AttackScenario(method=method, epsilon=epsilon, phi_percent=phi),
+        stats=error_stats(list(errors)),
+    )
+
+
+class TestFilterFloatTolerance:
+    def test_epsilon_matches_after_arithmetic_roundtrip(self):
+        results = ResultSet([record(epsilon=0.1 + 0.2)])  # 0.30000000000000004
+        assert len(results.filter(epsilon=0.3)) == 1
+
+    def test_phi_matches_after_json_roundtrip(self):
+        import json
+
+        phi = json.loads(json.dumps(1.0 / 3.0 * 30.0))
+        results = ResultSet([record(phi=10.000000000000002)])
+        assert len(results.filter(phi=phi)) == 1
+
+    def test_close_but_distinct_grid_points_do_not_alias(self):
+        results = ResultSet([record(epsilon=0.1), record(epsilon=0.2)])
+        assert len(results.filter(epsilon=0.1)) == 1
+        assert len(results.filter(epsilon=0.15)) == 0
+
+    def test_int_criterion_matches_float_column(self):
+        results = ResultSet([record(phi=50.0)])
+        assert len(results.filter(phi=50)) == 1
+
+    def test_string_criteria_stay_exact(self):
+        results = ResultSet([record(model="KNN"), record(model="KNN-2")])
+        assert len(results.filter(model="KNN")) == 1
+
+
+class TestErrorSummaryEdges:
+    def test_empty_set_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            ResultSet().error_summary()
+
+    def test_single_record_equals_its_stats(self):
+        single = record(errors=(2.0, 4.0))
+        summary = ResultSet([single]).error_summary()
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.worst_case == pytest.approx(4.0)
+        assert summary.count == 2
+
+    def test_mixed_clean_and_attacked_weighting(self):
+        clean = record(epsilon=0.0, phi=0.0, errors=(1.0,))
+        attacked = record(errors=(5.0, 5.0, 5.0))
+        summary = ResultSet([clean, attacked]).error_summary()
+        assert summary.mean == pytest.approx((1.0 + 15.0) / 4.0)
+        assert summary.worst_case == pytest.approx(5.0)
+        assert summary.count == 4
+
+    def test_agrees_with_mean_and_worst_case_methods(self):
+        results = ResultSet([record(errors=(1.0, 3.0)), record(errors=(7.0,))])
+        summary = results.error_summary()
+        assert summary.mean == pytest.approx(results.mean_error())
+        assert summary.worst_case == pytest.approx(results.worst_case_error())
+
+
+class TestCleanRowExport:
+    def test_clean_scenario_zeroes_epsilon_and_phi_columns(self):
+        # ø = 0 with a nominal ε: no perturbation is ever applied, so the
+        # exported row must not claim an attack strength.
+        row = record(epsilon=0.3, phi=0.0).as_dict()
+        assert row["attack"] == "clean"
+        assert row["epsilon"] == 0.0
+        assert row["phi"] == 0.0
+
+    def test_clean_scenario_via_zero_epsilon(self):
+        row = record(epsilon=0.0, phi=50.0).as_dict()
+        assert row["attack"] == "clean"
+        assert row["epsilon"] == 0.0
+        assert row["phi"] == 0.0
+
+    def test_attacked_scenario_keeps_its_operating_point(self):
+        row = record(method="PGD", epsilon=0.3, phi=50.0).as_dict()
+        assert row["attack"] == "PGD"
+        assert row["epsilon"] == 0.3
+        assert row["phi"] == 50.0
+
+    def test_filter_epsilon_zero_selects_clean_rows(self):
+        results = ResultSet(
+            [record(epsilon=0.3, phi=0.0), record(epsilon=0.3, phi=50.0)]
+        )
+        assert len(results.filter(epsilon=0.0)) == 1
+        assert len(results.filter(attack="clean")) == 1
+
+    def test_to_records_is_to_rows(self):
+        results = ResultSet([record(), record(model="DNN")])
+        assert results.to_records() == results.to_rows()
+        assert [row["model"] for row in results.to_records()] == ["KNN", "DNN"]
