@@ -46,7 +46,13 @@ from .api import (
     run_experiment,
 )
 from .core import CALLOC
-from .eval import ArtifactCache, ExecutionEngine, ExperimentRunner, ResultSet
+from .eval import (
+    ArtifactCache,
+    ExecutionEngine,
+    ExperimentRunner,
+    ResultSet,
+    ScenarioSpec,
+)
 from .interfaces import (
     DifferentiableLocalizer,
     ErrorSummary,
@@ -56,13 +62,16 @@ from .interfaces import (
 from .registry import (
     available_attacks,
     available_localizers,
+    available_scenarios,
     make_attack,
     make_localizer,
+    make_scenario,
     register_attack,
     register_localizer,
+    register_scenario,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CALLOC",
@@ -72,6 +81,7 @@ __all__ = [
     "localization_errors",
     "ModelSpec",
     "ExperimentSpec",
+    "ScenarioSpec",
     "ExperimentRunner",
     "ExecutionEngine",
     "ArtifactCache",
@@ -81,9 +91,12 @@ __all__ = [
     "LocalizationResult",
     "register_localizer",
     "register_attack",
+    "register_scenario",
     "make_localizer",
     "make_attack",
+    "make_scenario",
     "available_localizers",
     "available_attacks",
+    "available_scenarios",
     "__version__",
 ]

@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from .data.fingerprint import FingerprintDataset
+from .eval.robustness import ScenarioSpec
 from .eval.runner import ExperimentRunner, ResultSet
 from .eval.scenarios import AttackScenario, EvaluationConfig
 from .interfaces import ErrorSummary, Localizer
@@ -155,6 +156,13 @@ class ExperimentSpec:
     default to the :class:`EvaluationConfig` values, and the attack grid is
     either given explicitly via ``scenarios`` or expanded from the profile's
     ε/ø sweep restricted by ``attack_methods``/``epsilons``/``phi_percents``.
+
+    ``robustness`` adds registered deployment scenarios (temporal drift, AP
+    outages, rogue APs, unseen-device splits, adaptive black-box attackers —
+    see :mod:`repro.eval.robustness`) on top of the attack grid; entries may
+    be bare registry names, mappings, or :class:`ScenarioSpec` instances.
+    Pass ``scenarios=()`` alongside it to evaluate robustness conditions
+    without sweeping the crafted-attack grid.
     """
 
     models: Tuple[ModelSpec, ...] = ()
@@ -165,6 +173,7 @@ class ExperimentSpec:
     attack_methods: Optional[Tuple[str, ...]] = None
     epsilons: Optional[Tuple[float, ...]] = None
     phi_percents: Optional[Tuple[float, ...]] = None
+    robustness: Optional[Tuple[ScenarioSpec, ...]] = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -183,6 +192,12 @@ class ExperimentSpec:
                     s if isinstance(s, AttackScenario) else AttackScenario(**dict(s))
                     for s in self.scenarios
                 ),
+            )
+        if self.robustness is not None:
+            object.__setattr__(
+                self,
+                "robustness",
+                tuple(ScenarioSpec.from_dict(s) for s in self.robustness),
             )
         if self.profile not in PROFILES:
             raise ValueError(
@@ -244,6 +259,10 @@ class ExperimentSpec:
             phi_percents=self.phi_percents,
         )
 
+    def resolve_robustness(self, config: EvaluationConfig) -> List[ScenarioSpec]:
+        """The robustness scenarios this spec declares (empty by default)."""
+        return list(self.robustness) if self.robustness is not None else []
+
     def validate(self) -> "ExperimentSpec":
         """Fail fast on unknown model names; returns self for chaining."""
         for model in self.models:
@@ -273,6 +292,8 @@ class ExperimentSpec:
                 }
                 for s in self.scenarios
             ]
+        if self.robustness is not None:
+            data["robustness"] = [s.to_dict() for s in self.robustness]
         return data
 
     @classmethod
@@ -286,6 +307,7 @@ class ExperimentSpec:
             "attack_methods",
             "epsilons",
             "phi_percents",
+            "robustness",
             "name",
         }
         unknown = set(data) - known

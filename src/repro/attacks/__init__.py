@@ -16,6 +16,7 @@ from .mitm import (
     SignalSpoofingAttack,
     attack_dataset,
     make_attack,
+    replay_survey,
 )
 from .pgd import PGDAttack
 from .surrogate import SurrogateGradientModel
@@ -35,5 +36,6 @@ __all__ = [
     "SignalManipulationAttack",
     "SignalSpoofingAttack",
     "attack_dataset",
+    "replay_survey",
     "SurrogateGradientModel",
 ]

@@ -70,10 +70,26 @@ class ThreatModel:
             raise ValueError(f"phi_percent must be in [0, 100], got {self.phi_percent}")
         if self.feature_low >= self.feature_high:
             raise ValueError("feature_low must be smaller than feature_high")
+        # Memoised target selections, keyed by AP count (ø and seed are fixed
+        # per instance).  Not a dataclass field: it never participates in
+        # equality, hashing or cache-key canonicalisation.
+        object.__setattr__(self, "_mask_cache", {})
 
     def target_mask(self, num_aps: int) -> np.ndarray:
-        """Boolean mask of the APs this adversary perturbs."""
-        return select_target_aps(num_aps, self.phi_percent, np.random.default_rng(self.seed))
+        """Boolean mask of the APs this adversary perturbs.
+
+        The selection is drawn once per AP count and memoised, so every
+        ``perturb`` call within one scenario sees the same compromised set; a
+        defensive copy is returned so callers can never corrupt the cache.
+        """
+        cache: dict = getattr(self, "_mask_cache")
+        mask = cache.get(num_aps)
+        if mask is None:
+            mask = select_target_aps(
+                num_aps, self.phi_percent, np.random.default_rng(self.seed)
+            )
+            cache[num_aps] = mask
+        return mask.copy()
 
     @property
     def is_null(self) -> bool:

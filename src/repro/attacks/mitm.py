@@ -31,6 +31,7 @@ from .pgd import PGDAttack
 __all__ = [
     "ATTACK_REGISTRY",
     "make_attack",
+    "replay_survey",
     "SignalManipulationAttack",
     "SignalSpoofingAttack",
     "MITMScenario",
@@ -77,15 +78,36 @@ class SignalManipulationAttack(Attack):
         return self.crafter.perturb(features, labels, victim, target_mask=target_mask)
 
 
+def replay_survey(dataset: FingerprintDataset) -> np.ndarray:
+    """Per-AP replay baseline a spoofer derives from its own offline survey.
+
+    Returns the mean normalised RSS of every AP over ``dataset`` — the
+    population-plausible value :class:`SignalSpoofingAttack` broadcasts as its
+    counterfeit baseline.  Derive this **once** from the campaign's offline
+    split and pass it as ``replay_features``: the baseline is then a property
+    of the building survey, independent of whichever test batch the attack is
+    later applied to (and therefore of how the evaluation engine shards
+    batches across work units).
+    """
+    return dataset.features.mean(axis=0)
+
+
 @register_attack("MITM-spoofing", tags=("mitm",), aliases=("spoofing",))
 class SignalSpoofingAttack(Attack):
     """MITM signal spoofing: replace targeted APs with counterfeit signals.
 
     The counterfeit baseline for a spoofed AP is the population-plausible
     value the adversary replays (the average RSS of that AP over the spoofer's
-    own survey of the building); the adversarial perturbation is then applied
-    on top, so the fabricated signal "outwardly resembles" the legitimate one
-    while misleading the model.
+    own survey of the building — see :func:`replay_survey`); the adversarial
+    perturbation is then applied on top, so the fabricated signal "outwardly
+    resembles" the legitimate one while misleading the model.
+
+    ``replay_features`` should always be supplied from an offline survey (the
+    evaluation engine threads the campaign's offline split through every
+    spoofing work unit).  When it is omitted, the attack falls back to the
+    mean of the batch it is handed — an attacker-local estimate that makes
+    the result depend on batch composition, kept only for standalone
+    experimentation.
     """
 
     name = "MITM-spoofing"

@@ -22,7 +22,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .devices import PAPER_DEVICES, TRAINING_DEVICE, DeviceProfile, paper_devices
+from .devices import (
+    PAPER_DEVICES,
+    TRAINING_DEVICE,
+    DeviceProfile,
+    paper_devices,
+    training_devices_for,
+)
 from .fingerprint import FingerprintDataset
 from .floorplan import Building, paper_building, paper_buildings
 from .propagation import PropagationConfig, PropagationModel
@@ -80,6 +86,40 @@ class LocalizationCampaign:
                 f"no test data for device '{acronym}'; available: {sorted(self.test_by_device)}"
             )
         return self.test_by_device[acronym]
+
+    def leave_one_device_out(self, holdout: str) -> "LocalizationCampaign":
+        """Campaign variant for unseen-device generalization.
+
+        The offline split becomes the pooled scans of every device *except*
+        ``holdout`` (their online test sets concatenated — with six Table I
+        devices that is five scans per reference point, matching the standard
+        survey budget), and the online phase keeps only the held-out device.
+        The held-out hardware signature is therefore completely unseen during
+        training.
+        """
+        if holdout not in self.test_by_device:
+            raise KeyError(
+                f"no test data for device '{holdout}'; available: "
+                f"{sorted(self.test_by_device)}"
+            )
+        pool = [
+            acronym
+            for acronym in training_devices_for(holdout)
+            if acronym in self.test_by_device
+        ]
+        if not pool:
+            raise ValueError(
+                "leave-one-device-out needs test data from at least one other device"
+            )
+        train = FingerprintDataset.concatenate(
+            [self.test_by_device[acronym] for acronym in pool]
+        )
+        return LocalizationCampaign(
+            building=self.building,
+            train=train,
+            test_by_device={holdout: self.test_by_device[holdout]},
+            config=self.config,
+        )
 
     def summary(self) -> str:
         """Human-readable campaign description."""

@@ -31,6 +31,7 @@ __all__ = [
     "paper_devices",
     "paper_device",
     "device_acronyms",
+    "training_devices_for",
 ]
 
 
@@ -186,3 +187,17 @@ def paper_device(acronym: str) -> DeviceProfile:
 def device_acronyms() -> List[str]:
     """Acronyms of the Table I devices, in table order."""
     return list(PAPER_DEVICES)
+
+
+def training_devices_for(holdout: str) -> List[str]:
+    """The leave-one-device-out training pool: every device except ``holdout``.
+
+    This is the split the unseen-device generalization scenario trains on —
+    replacing the paper's fixed OP3-trains-all setup with a per-holdout pool,
+    so the evaluated device's hardware signature is never seen at fit time.
+    """
+    if holdout not in PAPER_DEVICES:
+        raise KeyError(
+            f"unknown device '{holdout}'; expected one of {sorted(PAPER_DEVICES)}"
+        )
+    return [acronym for acronym in PAPER_DEVICES if acronym != holdout]

@@ -26,7 +26,13 @@ import numpy as np
 
 from .floorplan import Building
 
-__all__ = ["PropagationConfig", "PropagationModel", "RSS_FLOOR_DBM", "RSS_CEIL_DBM"]
+__all__ = [
+    "PropagationConfig",
+    "PropagationModel",
+    "correlated_shadowing_field",
+    "RSS_FLOOR_DBM",
+    "RSS_CEIL_DBM",
+]
 
 #: Weakest representable signal (also used for "AP not detected").
 RSS_FLOOR_DBM = -100.0
@@ -56,6 +62,34 @@ class PropagationConfig:
     #: Probability that a visible AP is missed entirely in one scan (beacon
     #: loss); missed APs are reported at the -100 dBm floor.
     scan_dropout_rate: float = 0.25
+
+
+def correlated_shadowing_field(
+    distances: np.ndarray,
+    std_db: float,
+    correlation_m: float,
+    num_fields: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw spatially correlated Gaussian shadowing fields over a point set.
+
+    The field is a Gaussian process over the points whose pairwise
+    ``distances`` (meters, shape ``(n, n)``) are given, with an exponential
+    correlation kernel ``exp(-d / correlation_m)``; ``num_fields`` independent
+    fields are drawn (one per access point).  Returns shape
+    ``(n, num_fields)`` in dB.  Besides the offline survey itself, this is
+    what the temporal-drift robustness scenario uses to re-draw the shadowing
+    between the survey and the online phase.
+    """
+    num_points = distances.shape[0]
+    if num_points == 0 or num_fields == 0 or std_db == 0.0:
+        return np.zeros((num_points, num_fields))
+    correlation = np.exp(-distances / max(correlation_m, 1e-6))
+    # Cholesky with a small jitter for numerical robustness.
+    jitter = 1e-6 * np.eye(num_points)
+    factor = np.linalg.cholesky(correlation + jitter)
+    white = rng.normal(0.0, 1.0, size=(num_points, num_fields))
+    return std_db * (factor @ white)
 
 
 class PropagationModel:
@@ -96,18 +130,15 @@ class PropagationModel:
         any fingerprinting model can do at fine granularity.
         """
         building = self.building
-        num_rps = building.num_reference_points
-        num_aps = building.num_access_points
-        std = building.spec.shadowing_std_db
-        if num_rps == 0 or num_aps == 0:
-            return np.zeros((num_rps, num_aps))
-        distances = building.rp_distance_matrix()
-        correlation = np.exp(-distances / max(self.config.shadowing_correlation_m, 1e-6))
-        # Cholesky with a small jitter for numerical robustness.
-        jitter = 1e-6 * np.eye(num_rps)
-        factor = np.linalg.cholesky(correlation + jitter)
-        white = rng.normal(0.0, 1.0, size=(num_rps, num_aps))
-        return std * (factor @ white)
+        if building.num_reference_points == 0 or building.num_access_points == 0:
+            return np.zeros((building.num_reference_points, building.num_access_points))
+        return correlated_shadowing_field(
+            building.rp_distance_matrix(),
+            building.spec.shadowing_std_db,
+            self.config.shadowing_correlation_m,
+            building.num_access_points,
+            rng,
+        )
 
     # ------------------------------------------------------------------
     def _compute_mean_rss(self) -> np.ndarray:

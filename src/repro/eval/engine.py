@@ -14,6 +14,14 @@ flat DAG of *work units* and executes independent units concurrently:
 ``EvalUnit``
     Attack and score one trained model on one device's test set across a
     list of scenarios (depends on the corresponding train unit).
+``ScenarioUnit``
+    Evaluate one robustness scenario (drift, AP outage, rogue APs,
+    unseen-device generalization, adaptive black-box attacker — see
+    :mod:`repro.eval.robustness`) for one (model, building, device) cell.
+    Scenarios that keep the standard training split depend on the train
+    unit; scenarios that replace it (leave-one-device-out) depend only on
+    the campaign and train their own model under a scenario-specific
+    cache key.
 
 Two properties make the engine safe to parallelise:
 
@@ -79,14 +87,16 @@ from typing import (
 import numpy as np
 
 from ..attacks.base import GradientProvider, ThreatModel
-from ..attacks.mitm import attack_dataset
+from ..attacks.mitm import SignalSpoofingAttack, attack_dataset, replay_survey
 from ..attacks.surrogate import SurrogateGradientModel
 from ..data.campaign import CampaignConfig, LocalizationCampaign, collect_campaign
+from ..data.fingerprint import FingerprintDataset
 from ..data.floorplan import paper_building
 from ..interfaces import Localizer
 from ..nn.serialization import load_state_dict, save_state_dict
 from ..registry import LOCALIZERS, make_attack, make_localizer
 from .metrics import ErrorStats, error_stats
+from .robustness import ScenarioSpec
 from .scenarios import AttackScenario, EvaluationConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports engine)
@@ -102,11 +112,13 @@ __all__ = [
     "CampaignUnit",
     "TrainUnit",
     "EvalUnit",
+    "ScenarioUnit",
     "ExecutionPlan",
     "build_plan",
     "simulate_campaign",
     "train_localizer",
     "evaluate_unit",
+    "evaluate_scenario_unit",
     "ExecutionEngine",
 ]
 
@@ -381,6 +393,16 @@ class EvalUnit:
     scenarios: Tuple[AttackScenario, ...]
 
 
+@dataclass(frozen=True)
+class ScenarioUnit:
+    """Evaluate one robustness scenario for one (model, building, device) cell."""
+
+    task: ModelTask
+    building: str
+    device: str
+    spec: ScenarioSpec
+
+
 @dataclass
 class ExecutionPlan:
     """The flat DAG of an experiment: every unit, dependency-ordered.
@@ -389,20 +411,27 @@ class ExecutionPlan:
     each unit keep the grid order), which is exactly the order the legacy
     serial loops emitted records in; stitching unit results back together in
     this order keeps parallel output byte-identical to the serial path.
+    ``scenario_units`` follow in model → building → device → scenario order.
     """
 
     campaign_units: Tuple[CampaignUnit, ...]
     train_units: Tuple[TrainUnit, ...]
     eval_units: Tuple[EvalUnit, ...]
+    scenario_units: Tuple[ScenarioUnit, ...] = ()
 
     @property
     def num_units(self) -> int:
-        return len(self.campaign_units) + len(self.train_units) + len(self.eval_units)
+        return (
+            len(self.campaign_units)
+            + len(self.train_units)
+            + len(self.eval_units)
+            + len(self.scenario_units)
+        )
 
     def describe(self) -> str:
         return (
             f"{len(self.campaign_units)} campaign / {len(self.train_units)} train / "
-            f"{len(self.eval_units)} eval units"
+            f"{len(self.eval_units)} eval / {len(self.scenario_units)} scenario units"
         )
 
 
@@ -411,6 +440,7 @@ def build_plan(
     scenarios: Sequence[AttackScenario],
     buildings: Sequence[str],
     devices: Sequence[str],
+    robustness: Sequence[ScenarioSpec] = (),
 ) -> ExecutionPlan:
     """Decompose an experiment grid into its work-unit DAG."""
     if not tasks:
@@ -421,18 +451,35 @@ def build_plan(
         # Labels key the result-stitching maps; duplicates would silently
         # score every duplicate against the last-trained model.
         raise ValueError(f"duplicate model task labels {duplicates}")
+    displays = [spec.display_name for spec in robustness]
+    duplicate_specs = sorted({d for d in displays if displays.count(d) > 1})
+    if duplicate_specs:
+        raise ValueError(
+            f"duplicate robustness scenario labels {duplicate_specs}; "
+            "give repeated families distinct 'label's"
+        )
     scenario_tuple = tuple(scenarios)
     campaign_units = tuple(CampaignUnit(building) for building in buildings)
     train_units = tuple(
         TrainUnit(task, building) for task in tasks for building in buildings
     )
+    # A scenario-only experiment (attack grid ()) produces no eval records;
+    # emitting the units anyway would ship every trained model to a worker
+    # just to loop over zero scenarios.
     eval_units = tuple(
         EvalUnit(task, building, device, scenario_tuple)
         for task in tasks
         for building in buildings
         for device in devices
+    ) if scenario_tuple else ()
+    scenario_units = tuple(
+        ScenarioUnit(task, building, device, spec)
+        for task in tasks
+        for building in buildings
+        for device in devices
+        for spec in robustness
     )
-    return ExecutionPlan(campaign_units, train_units, eval_units)
+    return ExecutionPlan(campaign_units, train_units, eval_units, scenario_units)
 
 
 # ----------------------------------------------------------------------
@@ -490,6 +537,8 @@ def train_localizer(
     campaign: LocalizationCampaign,
     campaign_digest: str,
     cache: Optional[ArtifactCache] = None,
+    train_dataset: Optional[FingerprintDataset] = None,
+    variant: Optional[Mapping[str, Any]] = None,
 ) -> Tuple[Localizer, str]:
     """Train (or load from cache) one model on one building's database.
 
@@ -497,8 +546,19 @@ def train_localizer(
     ``load_state_arrays``, as CALLOC and KNN do) are persisted as ``.npz``
     archives through :mod:`repro.nn.serialization`; everything else falls
     back to a pickle of the fitted localizer.
+
+    ``train_dataset`` substitutes the offline split the model is fitted on
+    (robustness scenarios such as leave-one-device-out use this); whenever it
+    is given, ``variant`` must carry a canonicalisable description that
+    uniquely determines the substitute split, so the scenario-specific model
+    can never alias the standard one in the cache.
     """
-    digest = cache_key("model", _model_payload(task, campaign_digest))
+    if (train_dataset is None) != (variant is None):
+        raise ValueError("train_dataset and variant must be given together")
+    payload = _model_payload(task, campaign_digest)
+    if variant is not None:
+        payload["variant"] = variant
+    digest = cache_key("model", payload)
     if cache is not None:
         cached = cache.get_either("model", digest)
         if cached is not None:
@@ -509,7 +569,7 @@ def train_localizer(
                 return model, digest
             return payload, digest
     model = task.build()
-    model.fit(campaign.train)
+    model.fit(campaign.train if train_dataset is None else train_dataset)
     if cache is not None:
         if _supports_state_arrays(model):
             cache.put_arrays("model", digest, model.state_arrays())
@@ -555,6 +615,8 @@ def evaluate_unit(
     processes pass a per-process module-level dict for the same effect.
     """
     test = campaign.test_for(unit.device)
+    if surrogates is None:
+        surrogates = {}
     victim: Optional[GradientProvider] = None
     results: List[ErrorStats] = []
     for scenario in unit.scenarios:
@@ -578,28 +640,144 @@ def evaluate_unit(
                 attacked = test.with_rss(arrays["rss_dbm"])
             else:
                 if victim is None:
-                    if hasattr(model, "loss_gradient"):
-                        victim = model  # type: ignore[assignment]
-                    else:
-                        if surrogates is None:
-                            surrogates = {}
-                        memo_key = f"{model_digest}:{config.model_seed}"
-                        if memo_key not in surrogates:
-                            surrogates[memo_key] = _fit_surrogate(
-                                model, campaign, config
-                            )
-                        victim = surrogates[memo_key]
+                    victim = _resolve_victim(
+                        model, model_digest, campaign, config, surrogates
+                    )
                 threat = ThreatModel(
                     epsilon=scenario.epsilon,
                     phi_percent=scenario.phi_percent,
                     seed=scenario.seed,
                 )
                 attack = make_attack(scenario.method, threat)
+                if (
+                    isinstance(attack, SignalSpoofingAttack)
+                    and attack.replay_features is None
+                ):
+                    # The spoofer's counterfeit baseline is its own offline
+                    # survey of the building — a property of the campaign,
+                    # never of the batch this unit happens to score (which
+                    # would make results depend on engine sharding).
+                    attack.replay_features = replay_survey(campaign.train)
                 attacked = attack_dataset(test, attack, victim)
                 if cache is not None:
                     cache.put_arrays("attacked", digest, {"rss_dbm": attacked.rss_dbm})
         results.append(error_stats(model.evaluate(attacked)))
     return results
+
+
+def _resolve_victim(
+    model: Localizer,
+    model_digest: str,
+    campaign: LocalizationCampaign,
+    config: EvaluationConfig,
+    surrogates: Optional[Dict[str, SurrogateGradientModel]],
+    force_surrogate: bool = False,
+) -> GradientProvider:
+    """Gradient access to ``model``: native white-box, or a memoised surrogate.
+
+    ``force_surrogate`` models the black-box attacker that must transfer
+    perturbations through a surrogate even against differentiable victims.
+    """
+    if not force_surrogate and hasattr(model, "loss_gradient"):
+        return model  # type: ignore[return-value]
+    if surrogates is None:
+        surrogates = {}
+    memo_key = f"{model_digest}:{config.model_seed}"
+    if memo_key not in surrogates:
+        surrogates[memo_key] = _fit_surrogate(model, campaign, config)
+    return surrogates[memo_key]
+
+
+def evaluate_scenario_unit(
+    unit: ScenarioUnit,
+    model: Optional[Localizer],
+    model_digest: Optional[str],
+    campaign: LocalizationCampaign,
+    campaign_digest: str,
+    config: EvaluationConfig,
+    cache: Optional[ArtifactCache] = None,
+    surrogates: Optional[Dict[str, SurrogateGradientModel]] = None,
+) -> Tuple[ErrorStats, AttackScenario]:
+    """Score one robustness-scenario cell; returns its stats and attack point.
+
+    ``model`` is the standard trained model for scenarios that keep the
+    standard offline split; pass ``None`` for scenarios that replace it
+    (``trains_standard_model = False``) — the scenario-specific model is then
+    trained (or loaded) here under a cache key that embeds the scenario spec
+    and device, so it can never alias the standard model's artefact.
+
+    All scenario randomness is drawn from the spec's seed via
+    :func:`~repro.eval.robustness.stable_seed`, so the unit computes
+    bit-identical results in any process and at any job count.
+    """
+    scenario = unit.spec.build()
+    if model is None or model_digest is None:
+        model, model_digest = train_localizer(
+            unit.task,
+            campaign,
+            campaign_digest,
+            cache,
+            train_dataset=scenario.train_dataset(campaign, unit.device),
+            variant={"scenario": unit.spec, "device": unit.device},
+        )
+    test = campaign.test_for(unit.device)
+    attack_scenario = scenario.attack_scenario()
+    clean_point = AttackScenario(epsilon=0.0, phi_percent=0.0)
+    attacked_point = (
+        attack_scenario if attack_scenario is not None else clean_point
+    )
+    # Identity transforms with no attack have nothing worth caching: the
+    # campaign already provides the unmodified test split for free.
+    use_cache = cache is not None and (
+        scenario.transforms_test or not attacked_point.is_clean
+    )
+    digest: Optional[str] = None
+    if use_cache:
+        payload: Dict[str, Any] = {
+            "campaign": campaign_digest,
+            "device": unit.device,
+            "spec": unit.spec,
+        }
+        if not attacked_point.is_clean:
+            # The perturbation depends on the victim (and, through the
+            # surrogate seed, on the transfer model); purely environmental
+            # transforms don't.
+            payload["model"] = model_digest
+            payload["surrogate_seed"] = config.model_seed
+        digest = cache_key("scenario-batch", payload)
+    arrays = cache.get_arrays("scenario-batch", digest) if use_cache else None
+    if arrays is not None:
+        final = test.with_rss(arrays["rss_dbm"])
+    else:
+        final = (
+            scenario.transform_test(test, campaign, unit.device)
+            if scenario.transforms_test
+            else test
+        )
+        if not attacked_point.is_clean:
+            victim = _resolve_victim(
+                model,
+                model_digest,
+                campaign,
+                config,
+                surrogates,
+                force_surrogate=scenario.force_surrogate,
+            )
+            threat = ThreatModel(
+                epsilon=attacked_point.epsilon,
+                phi_percent=attacked_point.phi_percent,
+                seed=attacked_point.seed,
+            )
+            attack = make_attack(attacked_point.method, threat)
+            if (
+                isinstance(attack, SignalSpoofingAttack)
+                and attack.replay_features is None
+            ):
+                attack.replay_features = replay_survey(campaign.train)
+            final = attack_dataset(final, attack, victim)
+        if use_cache:
+            cache.put_arrays("scenario-batch", digest, {"rss_dbm": final.rss_dbm})
+    return error_stats(model.evaluate(final)), attacked_point
 
 
 # ----------------------------------------------------------------------
@@ -681,6 +859,29 @@ def _worker_eval(
     )
 
 
+def _worker_scenario(
+    unit: ScenarioUnit,
+    model: Optional[Localizer],
+    model_digest: Optional[str],
+    campaign_digest: str,
+    config: EvaluationConfig,
+    cache_spec: Optional[Tuple[str, bool]],
+) -> Tuple[ErrorStats, AttackScenario]:
+    campaign = _worker_get_campaign(
+        unit.building, campaign_digest, config, cache_spec
+    )
+    return evaluate_scenario_unit(
+        unit,
+        model,
+        model_digest,
+        campaign,
+        campaign_digest,
+        config,
+        ArtifactCache.from_spec(cache_spec),
+        surrogates=_WORKER_SURROGATES,
+    )
+
+
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
@@ -727,17 +928,25 @@ class ExecutionEngine:
         scenarios: Sequence[AttackScenario],
         buildings: Optional[Sequence[str]] = None,
         devices: Optional[Sequence[str]] = None,
+        robustness: Optional[Sequence[ScenarioSpec]] = None,
     ) -> "ResultSet":
-        """Execute the grid and return records in canonical (serial) order."""
+        """Execute the grid and return records in canonical (serial) order.
+
+        ``robustness`` adds one :class:`ScenarioUnit` per (model, building,
+        device, scenario spec); its records follow the attack-grid records,
+        tagged with the scenario's display name in their ``condition`` field.
+        """
         from .runner import EvaluationRecord, ResultSet
 
         buildings = tuple(buildings) if buildings is not None else self.config.buildings
         devices = tuple(devices) if devices is not None else self.config.devices
-        plan = build_plan(tasks, scenarios, buildings, devices)
+        plan = build_plan(
+            tasks, scenarios, buildings, devices, tuple(robustness or ())
+        )
         if self.jobs == 1:
-            stats_by_unit = self._execute_serial(plan)
+            stats_by_unit, scenario_outcomes = self._execute_serial(plan)
         else:
-            stats_by_unit = self._execute_parallel(plan)
+            stats_by_unit, scenario_outcomes = self._execute_parallel(plan)
         results = ResultSet()
         for index, unit in enumerate(plan.eval_units):
             for scenario, stats in zip(unit.scenarios, stats_by_unit[index]):
@@ -750,6 +959,18 @@ class ExecutionEngine:
                         stats=stats,
                     )
                 )
+        for index, unit in enumerate(plan.scenario_units):
+            stats, attack_point = scenario_outcomes[index]
+            results.add(
+                EvaluationRecord(
+                    model=unit.task.label,
+                    building=unit.building,
+                    device=unit.device,
+                    scenario=attack_point,
+                    stats=stats,
+                    condition=unit.spec.display_name,
+                )
+            )
         return results
 
     def campaign(self, building: str) -> LocalizationCampaign:
@@ -765,7 +986,9 @@ class ExecutionEngine:
         self._campaigns[building] = campaign
         return campaign, digest
 
-    def _execute_serial(self, plan: ExecutionPlan) -> Dict[int, List[ErrorStats]]:
+    def _execute_serial(
+        self, plan: ExecutionPlan
+    ) -> Tuple[Dict[int, List[ErrorStats]], Dict[int, Tuple[ErrorStats, AttackScenario]]]:
         campaigns: Dict[str, Tuple[LocalizationCampaign, str]] = {}
         for unit in plan.campaign_units:
             campaigns[unit.building] = self._campaign_with_digest(unit.building)
@@ -789,23 +1012,49 @@ class ExecutionEngine:
                 self.cache,
                 surrogates=surrogates,
             )
-        return stats_by_unit
+        scenario_outcomes: Dict[int, Tuple[ErrorStats, AttackScenario]] = {}
+        for index, scenario_unit in enumerate(plan.scenario_units):
+            campaign, campaign_digest = campaigns[scenario_unit.building]
+            if scenario_unit.spec.build().trains_standard_model:
+                model, model_digest = models[
+                    (scenario_unit.task.label, scenario_unit.building)
+                ]
+            else:
+                model, model_digest = None, None
+            scenario_outcomes[index] = evaluate_scenario_unit(
+                scenario_unit,
+                model,
+                model_digest,
+                campaign,
+                campaign_digest,
+                self.config,
+                self.cache,
+                surrogates=surrogates,
+            )
+        return stats_by_unit, scenario_outcomes
 
     # -- parallel path --------------------------------------------------
-    def _execute_parallel(self, plan: ExecutionPlan) -> Dict[int, List[ErrorStats]]:
+    def _execute_parallel(
+        self, plan: ExecutionPlan
+    ) -> Tuple[Dict[int, List[ErrorStats]], Dict[int, Tuple[ErrorStats, AttackScenario]]]:
         """Dependency-driven execution over a process pool.
 
         Units are submitted the moment their dependencies resolve: campaign
         units immediately, each train unit when its building's campaign
-        lands, each eval unit when its model finishes training.  Completion
-        order is nondeterministic but irrelevant — results are keyed by unit
-        index and stitched back in plan order by :meth:`run`.
+        lands, each eval unit when its model finishes training.  Scenario
+        units follow the same rule — after their model's train unit when they
+        reuse the standard training split, directly after the campaign when
+        they train their own model.  Completion order is nondeterministic but
+        irrelevant — results are keyed by unit index and stitched back in
+        plan order by :meth:`run`.
         """
         cache_spec = self.cache.spec() if self.cache is not None else None
         campaigns: Dict[str, Tuple[LocalizationCampaign, str]] = {}
         stats_by_unit: Dict[int, List[ErrorStats]] = {}
+        scenario_outcomes: Dict[int, Tuple[ErrorStats, AttackScenario]] = {}
 
-        # Dependency indices: building -> train-unit ids, train id -> eval ids.
+        # Dependency indices: building -> train-unit ids, train id -> eval /
+        # scenario ids, building -> self-training scenario ids.
         trains_by_building: Dict[str, List[int]] = {}
         for train_index, train_unit in enumerate(plan.train_units):
             trains_by_building.setdefault(train_unit.building, []).append(train_index)
@@ -813,9 +1062,42 @@ class ExecutionEngine:
         for eval_index, eval_unit in enumerate(plan.eval_units):
             key = (eval_unit.task.label, eval_unit.building)
             evals_by_train.setdefault(key, []).append(eval_index)
+        scenarios_by_train: Dict[Tuple[str, str], List[int]] = {}
+        scenarios_by_campaign: Dict[str, List[int]] = {}
+        # trains_standard_model is a family-level (class) attribute, so memo
+        # by registry name — params may hold values that hash poorly.
+        trains_standard: Dict[str, bool] = {}
+        for scenario_index, scenario_unit in enumerate(plan.scenario_units):
+            spec = scenario_unit.spec
+            if spec.name not in trains_standard:
+                trains_standard[spec.name] = spec.build().trains_standard_model
+            if trains_standard[spec.name]:
+                key = (scenario_unit.task.label, scenario_unit.building)
+                scenarios_by_train.setdefault(key, []).append(scenario_index)
+            else:
+                scenarios_by_campaign.setdefault(
+                    scenario_unit.building, []
+                ).append(scenario_index)
 
         with ProcessPoolExecutor(max_workers=self.jobs) as executor:
             pending = {}
+
+            def submit_scenario(
+                scenario_index: int,
+                model: Optional[Localizer],
+                model_digest: Optional[str],
+                campaign_digest: str,
+            ) -> None:
+                scenario_future = executor.submit(
+                    _worker_scenario,
+                    plan.scenario_units[scenario_index],
+                    model,
+                    model_digest,
+                    campaign_digest,
+                    self.config,
+                    cache_spec,
+                )
+                pending[scenario_future] = ("scenario", scenario_index)
 
             def submit_trains(building: str, digest: str) -> None:
                 for train_index in trains_by_building.get(building, ()):
@@ -829,6 +1111,8 @@ class ExecutionEngine:
                         cache_spec,
                     )
                     pending[train_future] = ("train", train_unit)
+                for scenario_index in scenarios_by_campaign.get(building, ()):
+                    submit_scenario(scenario_index, None, None, digest)
 
             for unit in plan.campaign_units:
                 if unit.building in self._campaigns:
@@ -868,6 +1152,12 @@ class ExecutionEngine:
                                 cache_spec,
                             )
                             pending[eval_future] = ("eval", eval_index)
+                        for scenario_index in scenarios_by_train.get(key, ()):
+                            submit_scenario(
+                                scenario_index, model, model_digest, campaign_digest
+                            )
+                    elif kind == "scenario":
+                        scenario_outcomes[unit] = outcome
                     else:
                         stats_by_unit[unit] = outcome
-        return stats_by_unit
+        return stats_by_unit, scenario_outcomes

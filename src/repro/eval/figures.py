@@ -23,6 +23,7 @@ Artefacts covered:
 ``fig6_sota``            Fig. 6    — CALLOC vs state-of-the-art frameworks
 ``fig7_phi_sweep``       Fig. 7    — error vs number of attacked APs ø
 ``ablation_adaptive``    Sec. IV.D — adaptive vs static curriculum ablation
+``robustness_matrix``    (beyond the paper) model × deployment-scenario matrix
 ======================  =====================================================
 """
 
@@ -49,14 +50,20 @@ __all__ = [
     "fig6_sota",
     "fig7_phi_sweep",
     "ablation_adaptive",
+    "robustness_matrix",
     "fig6_spec",
     "calloc_factory",
     "baseline_factories",
     "DEFAULT_SOTA_BASELINES",
+    "DEFAULT_ROBUSTNESS_MODELS",
 ]
 
 #: Baselines of the Fig. 6/7 state-of-the-art comparison.
 DEFAULT_SOTA_BASELINES = ("AdvLoc", "SANGRIA", "ANVIL", "WiDeep")
+
+#: Models of the default robustness matrix: the framework plus one classical
+#: and one neural baseline (kept small so the matrix stays CI-affordable).
+DEFAULT_ROBUSTNESS_MODELS = ("CALLOC", "KNN", "DNN")
 
 
 # ----------------------------------------------------------------------
@@ -373,6 +380,55 @@ def fig7_phi_sweep(
         "phi_percents": list(config.phi_percents),
         "curves": curves,
         "results": results,
+        "text": text,
+    }
+
+
+def robustness_matrix(
+    config: Optional[EvaluationConfig] = None,
+    models: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache: object = None,
+) -> Dict[str, object]:
+    """Robustness matrix: mean error per model × deployment scenario.
+
+    Sweeps every registered robustness scenario family (temporal drift, AP
+    outage, rogue APs, unseen-device generalization, adaptive black-box
+    attacker — see :mod:`repro.eval.robustness`) against the ``clean``
+    reference column, without the crafted-attack grid.  The returned dict
+    carries the matrix, the per-record rows (``csv_rows``) for CSV export,
+    and an ASCII rendering.
+    """
+    config = config or EvaluationConfig.quick()
+    runner = ExperimentRunner(config, jobs=jobs, cache=cache)
+    names = tuple(models) if models is not None else DEFAULT_ROBUSTNESS_MODELS
+    specs = config.robustness_scenarios(scenarios)
+    spec = _spec(
+        names,
+        scenarios=(),
+        robustness=tuple(specs),
+        name="robustness",
+    )
+    results = runner.run(spec)
+    scenario_names = [s.display_name for s in specs]
+    matrix = np.zeros((len(names), len(scenario_names)))
+    rows = []
+    for row_index, model_name in enumerate(names):
+        row: List[object] = [model_name]
+        for col_index, scenario_name in enumerate(scenario_names):
+            cell = results.filter(model=model_name, scenario=scenario_name)
+            matrix[row_index, col_index] = cell.mean_error()
+            row.append(round(matrix[row_index, col_index], 2))
+        rows.append(row)
+    text = ascii_table(rows, headers=["model"] + scenario_names)
+    return {
+        "scenarios": scenario_names,
+        "models": list(names),
+        "matrix": matrix,
+        "results": results,
+        "rows": rows,
+        "csv_rows": results.to_rows(),
         "text": text,
     }
 

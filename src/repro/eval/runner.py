@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..attacks.base import GradientProvider, ThreatModel
-from ..attacks.mitm import attack_dataset
+from ..attacks.mitm import SignalSpoofingAttack, attack_dataset, replay_survey
 from ..attacks.surrogate import SurrogateGradientModel
 from ..data.campaign import CampaignConfig, LocalizationCampaign, collect_campaign
 from ..data.fingerprint import FingerprintDataset
@@ -47,13 +47,19 @@ def _criterion_matches(actual: object, expected: object) -> bool:
 
 @dataclass(frozen=True)
 class EvaluationRecord:
-    """One measured operating point."""
+    """One measured operating point.
+
+    ``condition`` names the robustness scenario the cell was evaluated under
+    (``"standard"`` for the plain attack grid; e.g. ``"drift"`` or
+    ``"ap-outage"`` for cells produced by scenario work units).
+    """
 
     model: str
     building: str
     device: str
     scenario: AttackScenario
     stats: ErrorStats
+    condition: str = "standard"
 
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary (for CSV export and report tables).
@@ -68,6 +74,7 @@ class EvaluationRecord:
             "model": self.model,
             "building": self.building,
             "device": self.device,
+            "scenario": self.condition,
             "attack": "clean" if clean else self.scenario.method,
             "epsilon": 0.0 if clean else self.scenario.epsilon,
             "phi": 0.0 if clean else self.scenario.phi_percent,
@@ -232,6 +239,10 @@ class ExperimentRunner:
             seed=scenario.seed,
         )
         attack = make_attack(scenario.method, threat)
+        if isinstance(attack, SignalSpoofingAttack) and attack.replay_features is None:
+            # The spoofer's counterfeit baseline comes from its own offline
+            # survey of the building, never from the batch under attack.
+            attack.replay_features = replay_survey(campaign.train)
         victim = self._gradient_provider(model, campaign)
         return attack_dataset(dataset, attack, victim)
 
@@ -304,6 +315,7 @@ class ExperimentRunner:
 
         tasks = spec.resolve_model_tasks(self.config)
         scenarios = spec.resolve_scenarios(self.config)
+        robustness = spec.resolve_robustness(self.config)
         engine = ExecutionEngine(
             self.config,
             jobs=self.jobs if jobs is None else jobs,
@@ -311,5 +323,9 @@ class ExperimentRunner:
             campaigns=self._campaigns,
         )
         return engine.run(
-            tasks, scenarios, buildings=spec.buildings, devices=spec.devices
+            tasks,
+            scenarios,
+            buildings=spec.buildings,
+            devices=spec.devices,
+            robustness=robustness,
         )

@@ -15,10 +15,13 @@ profiles:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..data.devices import device_acronyms
 from ..data.floorplan import PAPER_BUILDING_SPECS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (robustness imports us)
+    from .robustness import ScenarioSpec
 
 __all__ = ["AttackScenario", "EvaluationConfig"]
 
@@ -131,3 +134,16 @@ class EvaluationConfig:
                             )
                         )
         return grid
+
+    def robustness_scenarios(
+        self, names: Optional[Sequence[str]] = None
+    ) -> List["ScenarioSpec"]:
+        """Specs for the robustness-matrix grid (defaults to every family).
+
+        The deployment-condition counterpart of :meth:`scenarios`: one
+        :class:`~repro.eval.robustness.ScenarioSpec` per registered scenario
+        family (or per explicit name), each with its default knobs.
+        """
+        from .robustness import default_robustness_specs
+
+        return default_robustness_specs(tuple(names) if names is not None else None)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -12,7 +12,16 @@ __all__ = ["Optimizer", "SGD", "Adam"]
 
 
 class Optimizer:
-    """Base class: holds parameters and applies gradient updates."""
+    """Base class: holds parameters and applies gradient updates.
+
+    Per-parameter optimizer state (momentum buffers, Adam moments) is keyed by
+    *parameter position* in the managed list, never by ``id(param)``: identity
+    keys leak stale state when a parameter object is replaced in place, and —
+    worse — ``id`` reuse after garbage collection can silently cross-wire the
+    moments of two unrelated parameters.  Position keys also make the state
+    serializable: :meth:`state_dict` / :meth:`load_state_dict` round-trip the
+    buffers so trainer checkpoints can resume mid-schedule.
+    """
 
     def __init__(self, parameters: List[Parameter], lr: float) -> None:
         if lr <= 0:
@@ -30,6 +39,37 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable snapshot of the optimizer's mutable state."""
+        return {}
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (inverse operation)."""
+
+    # ------------------------------------------------------------------
+    def _check_buffers(
+        self, name: str, buffers: List[Optional[np.ndarray]]
+    ) -> List[Optional[np.ndarray]]:
+        """Validate per-position buffers against the managed parameter list."""
+        if len(buffers) != len(self.parameters):
+            raise ValueError(
+                f"state dict holds {len(buffers)} '{name}' buffers for "
+                f"{len(self.parameters)} parameters"
+            )
+        checked: List[Optional[np.ndarray]] = []
+        for index, (buffer, param) in enumerate(zip(buffers, self.parameters)):
+            if buffer is None:
+                checked.append(None)
+                continue
+            buffer = np.asarray(buffer, dtype=np.float64)
+            if buffer.shape != param.data.shape:
+                raise ValueError(
+                    f"'{name}' buffer {index} has shape {buffer.shape}, "
+                    f"parameter has {param.data.shape}"
+                )
+            checked.append(buffer.copy())
+        return checked
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -46,25 +86,33 @@ class SGD(Optimizer):
             raise ValueError("momentum must be in [0, 1)")
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity: Dict[int, np.ndarray] = {}
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
 
     def step(self) -> None:
-        for param in self.parameters:
+        for index, param in enumerate(self.parameters):
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             if self.momentum:
-                velocity = self._velocity.get(id(param))
+                velocity = self._velocity[index]
                 if velocity is None:
                     velocity = np.zeros_like(param.data)
                 velocity = self.momentum * velocity + grad
-                self._velocity[id(param)] = velocity
+                self._velocity[index] = velocity
                 update = velocity
             else:
                 update = grad
             param.data = param.data - self.lr * update
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "velocity": [None if v is None else v.copy() for v in self._velocity],
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        self._velocity = self._check_buffers("velocity", list(state["velocity"]))
 
 
 class Adam(Optimizer):
@@ -87,26 +135,44 @@ class Adam(Optimizer):
         self.eps = eps
         self.weight_decay = weight_decay
         self._step_count = 0
-        self._first_moment: Dict[int, np.ndarray] = {}
-        self._second_moment: Dict[int, np.ndarray] = {}
+        self._first_moment: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._second_moment: List[Optional[np.ndarray]] = [None] * len(self.parameters)
 
     def step(self) -> None:
         self._step_count += 1
-        for param in self.parameters:
+        for index, param in enumerate(self.parameters):
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
-            m = self._first_moment.get(id(param))
-            v = self._second_moment.get(id(param))
+            m = self._first_moment[index]
+            v = self._second_moment[index]
             if m is None:
                 m = np.zeros_like(param.data)
                 v = np.zeros_like(param.data)
             m = self.beta1 * m + (1.0 - self.beta1) * grad
             v = self.beta2 * v + (1.0 - self.beta2) * (grad ** 2)
-            self._first_moment[id(param)] = m
-            self._second_moment[id(param)] = v
+            self._first_moment[index] = m
+            self._second_moment[index] = v
             m_hat = m / (1.0 - self.beta1 ** self._step_count)
             v_hat = v / (1.0 - self.beta2 ** self._step_count)
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "step_count": self._step_count,
+            "first_moment": [
+                None if m is None else m.copy() for m in self._first_moment
+            ],
+            "second_moment": [
+                None if v is None else v.copy() for v in self._second_moment
+            ],
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        first = self._check_buffers("first_moment", list(state["first_moment"]))
+        second = self._check_buffers("second_moment", list(state["second_moment"]))
+        self._step_count = int(state["step_count"])
+        self._first_moment = first
+        self._second_moment = second

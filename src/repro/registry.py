@@ -27,6 +27,12 @@ Attacks follow the same pattern through :func:`register_attack` /
 :func:`make_attack`; an attack factory is always called with the
 :class:`~repro.attacks.base.ThreatModel` as its first argument.
 
+Robustness scenarios — deployment conditions such as temporal drift, AP
+outages or unseen-device generalization (see :mod:`repro.eval.robustness`) —
+register through :func:`register_scenario` / :func:`make_scenario` and become
+declarable in :class:`repro.api.ExperimentSpec` and runnable via
+``repro run --scenario``.
+
 Lookups are case-insensitive (``make_localizer("knn")`` works) and unknown
 names raise :class:`RegistryError` (a :class:`KeyError`) naming the closest
 registered spellings.  The registries populate themselves lazily: the first
@@ -48,12 +54,16 @@ __all__ = [
     "RegistryError",
     "LOCALIZERS",
     "ATTACKS",
+    "SCENARIOS",
     "register_localizer",
     "register_attack",
+    "register_scenario",
     "make_localizer",
     "make_attack",
+    "make_scenario",
     "available_localizers",
     "available_attacks",
+    "available_scenarios",
 ]
 
 
@@ -218,6 +228,10 @@ LOCALIZERS = Registry("localizer", lazy_modules=("repro.baselines", "repro.core"
 #: channel-side MITM wrappers (tag ``"mitm"``).
 ATTACKS = Registry("attack", lazy_modules=("repro.attacks",))
 
+#: All robustness scenarios: deployment conditions beyond the crafted-attack
+#: grid (environment drift, infrastructure failures, generalization splits).
+SCENARIOS = Registry("scenario", lazy_modules=("repro.eval.robustness",))
+
 
 def register_localizer(
     name: str,
@@ -245,6 +259,20 @@ def register_attack(
     return ATTACKS.register(name, factory, tags=tags, aliases=aliases, override=override)
 
 
+def register_scenario(
+    name: str,
+    factory: Optional[Callable[..., Any]] = None,
+    *,
+    tags: Iterable[str] = (),
+    aliases: Iterable[str] = (),
+    override: bool = False,
+):
+    """Register a robustness-scenario class/factory under ``name``."""
+    return SCENARIOS.register(
+        name, factory, tags=tags, aliases=aliases, override=override
+    )
+
+
 def make_localizer(name: str, **kwargs) -> Any:
     """Instantiate a registered localizer by name (``make_localizer("KNN", k=3)``)."""
     return LOCALIZERS.create(name, **kwargs)
@@ -255,6 +283,11 @@ def make_attack(name: str, threat_model: Any, **kwargs) -> Any:
     return ATTACKS.create(name, threat_model, **kwargs)
 
 
+def make_scenario(name: str, **kwargs) -> Any:
+    """Instantiate a registered robustness scenario by name."""
+    return SCENARIOS.create(name, **kwargs)
+
+
 def available_localizers(tag: Optional[str] = None) -> List[str]:
     """Names of every registered localizer (optionally one tag)."""
     return LOCALIZERS.names(tag)
@@ -263,3 +296,8 @@ def available_localizers(tag: Optional[str] = None) -> List[str]:
 def available_attacks(tag: Optional[str] = None) -> List[str]:
     """Names of every registered attack (optionally one tag)."""
     return ATTACKS.names(tag)
+
+
+def available_scenarios(tag: Optional[str] = None) -> List[str]:
+    """Names of every registered robustness scenario (optionally one tag)."""
+    return SCENARIOS.names(tag)

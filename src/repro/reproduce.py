@@ -6,12 +6,18 @@ Subcommands
     Enumerate every registered localizer (CALLOC and all baselines).
 ``list-attacks``
     Enumerate every registered attack (crafting methods and MITM variants).
+``list-scenarios``
+    Enumerate every registered robustness scenario family (drift, AP outage,
+    rogue APs, unseen-device generalization, adaptive black-box, ...).
 ``artefact NAME [NAME ...]``
-    Regenerate specific tables/figures of the paper (or ``all``).
+    Regenerate specific tables/figures of the paper (or ``all``); the
+    ``robustness`` artefact renders the model × scenario matrix and, with
+    ``--output-dir``, exports it as CSV.
 ``run``
     Execute a declarative :class:`~repro.api.ExperimentSpec` — either loaded
     from a JSON file (``--spec``) or assembled from ``--models`` /
-    ``--buildings`` / ``--devices`` flags — and print a result summary.
+    ``--buildings`` / ``--devices`` / ``--scenario`` flags — and print a
+    result summary.
 
 Examples
 --------
@@ -27,6 +33,10 @@ Run a declarative experiment::
 
     python -m repro run --models CALLOC KNN --profile quick
     python -m repro run --spec experiment.json --output-dir results
+
+Evaluate robustness scenarios instead of the crafted-attack grid::
+
+    python -m repro run --models KNN DNN --scenario drift ap-outage
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ from .eval import (
     fig6_sota,
     fig7_phi_sweep,
     results_to_csv,
+    robustness_matrix,
     table1_devices,
     table2_buildings,
     table3_model_budget,
@@ -68,6 +79,7 @@ ARTEFACTS: Dict[str, Callable] = {
     "fig6": fig6_sota,
     "fig7": fig7_phi_sweep,
     "ablation": ablation_adaptive,
+    "robustness": robustness_matrix,
 }
 
 def _add_common_options(parser: argparse.ArgumentParser, suppress: bool) -> None:
@@ -144,6 +156,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--tag", default=None, help="restrict to one tag (e.g. crafting, mitm)"
     )
 
+    list_scenarios = subparsers.add_parser(
+        "list-scenarios",
+        help="enumerate every registered robustness scenario family",
+    )
+    list_scenarios.add_argument(
+        "--tag",
+        default=None,
+        help="restrict to one tag (e.g. environment, infrastructure, adversarial)",
+    )
+
     artefact = subparsers.add_parser(
         "artefact", help="regenerate specific tables/figures of the paper"
     )
@@ -178,6 +200,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--epsilons", nargs="+", type=float, default=None)
     run.add_argument("--phis", nargs="+", type=float, default=None)
+    run.add_argument(
+        "--scenario",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help=(
+            "robustness scenario families to evaluate (see list-scenarios); "
+            "when given without attack flags, the crafted-attack sweep is "
+            "skipped and only the scenarios run"
+        ),
+    )
     _add_common_options(run, suppress=True)
 
     return parser
@@ -205,12 +238,19 @@ def run_artefact(
     jobs: int = 1,
     cache: object = None,
 ) -> str:
-    """Run one artefact and optionally persist its rendering."""
+    """Run one artefact and optionally persist its rendering.
+
+    Artefacts exposing per-record rows under a ``"csv_rows"`` key (the
+    robustness matrix does) are additionally exported as ``<name>.csv``.
+    """
     result = ARTEFACTS[name](config, jobs=jobs, cache=cache)
     text = result["text"]
     if output_dir is not None:
         output_dir.mkdir(parents=True, exist_ok=True)
         (output_dir / f"{name}.txt").write_text(text + "\n")
+        csv_rows = result.get("csv_rows")
+        if csv_rows:
+            results_to_csv(csv_rows, output_dir / f"{name}.csv")
     return text
 
 
@@ -233,6 +273,17 @@ def _cmd_list_attacks(args: argparse.Namespace) -> int:
         for entry in ATTACKS.entries(args.tag)
     ]
     print(ascii_table(rows, headers=["attack", "tags", "description"]))
+    return 0
+
+
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    from .registry import SCENARIOS
+
+    rows = [
+        [entry.name, "/".join(entry.tags), entry.summary]
+        for entry in SCENARIOS.entries(args.tag)
+    ]
+    print(ascii_table(rows, headers=["scenario", "tags", "description"]))
     return 0
 
 
@@ -270,6 +321,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 ("--methods", args.methods),
                 ("--epsilons", args.epsilons),
                 ("--phis", args.phis),
+                ("--scenario", args.scenario),
             )
             if value
         ]
@@ -280,14 +332,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         spec = ExperimentSpec.load(args.spec)
     elif args.models:
+        # A scenario-only run skips the crafted-attack sweep: `--scenario
+        # drift` means "evaluate under drift", not "drift plus the full ε/ø
+        # grid".  Any explicit attack flag keeps the sweep alongside.
+        attack_flags = bool(args.methods or args.epsilons or args.phis)
         spec = ExperimentSpec(
             models=tuple(args.models),
             profile=profile,
             buildings=tuple(args.buildings) if args.buildings else None,
             devices=tuple(args.devices) if args.devices else None,
+            scenarios=() if (args.scenario and not attack_flags) else None,
             attack_methods=tuple(args.methods) if args.methods else None,
             epsilons=tuple(args.epsilons) if args.epsilons else None,
             phi_percents=tuple(args.phis) if args.phis else None,
+            robustness=tuple(args.scenario) if args.scenario else None,
         )
     else:
         raise SystemExit("run requires --spec FILE or --models NAME [NAME ...]")
@@ -320,6 +378,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_list_models(args)
     if command == "list-attacks":
         return _cmd_list_attacks(args)
+    if command == "list-scenarios":
+        return _cmd_list_scenarios(args)
     if command == "run":
         try:
             return _cmd_run(args)

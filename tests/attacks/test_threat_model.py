@@ -40,6 +40,31 @@ class TestThreatModel:
         mask = ThreatModel(phi_percent=20.0).target_mask(50)
         assert mask.sum() == 10
 
+    def test_target_mask_is_memoised_per_ap_count(self):
+        threat = ThreatModel(phi_percent=30.0, seed=5)
+        first = threat.target_mask(50)
+        assert 50 in threat._mask_cache
+        np.testing.assert_array_equal(first, threat._mask_cache[50])
+        small = threat.target_mask(10)
+        assert set(threat._mask_cache) == {50, 10}
+        assert small.shape == (10,)
+
+    def test_caller_mutation_cannot_corrupt_the_cache(self):
+        threat = ThreatModel(phi_percent=30.0, seed=5)
+        mask = threat.target_mask(50)
+        mask[:] = True  # a careless caller scribbles over its copy
+        np.testing.assert_array_equal(
+            threat.target_mask(50),
+            ThreatModel(phi_percent=30.0, seed=5).target_mask(50),
+        )
+
+    def test_one_percent_phi_on_few_aps_targets_one_ap(self):
+        # ø = 1% of 8 APs rounds to 0.08 — the documented floor guarantees at
+        # least one targeted AP whenever ø > 0.
+        for num_aps in (1, 3, 8, 40):
+            mask = ThreatModel(phi_percent=1.0, seed=0).target_mask(num_aps)
+            assert mask.sum() == 1, num_aps
+
 
 class TestSelectTargetAps:
     def test_zero_phi_selects_nothing(self):

@@ -67,3 +67,35 @@ def test_undetected_aps_remain_undetected_after_device_transform(rss):
     rss[:, 0] = RSS_FLOOR_DBM
     observed = paper_device("MOTO").apply(rss, np.random.default_rng(0))
     assert (observed[:, 0] == RSS_FLOOR_DBM).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(dtype=np.float64, shape=(5, 9), elements=rss_values),
+    st.sampled_from(["BLU", "HTC", "S7", "LG", "MOTO", "OP3"]),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_device_readings_lie_on_the_quantization_grid(rss, acronym, seed):
+    # Driver RSSI is quantised: every reported value is a multiple of the
+    # device's quantisation step (the -100/0 dBm clip bounds are themselves on
+    # every paper device's grid).
+    device = paper_device(acronym)
+    observed = device.apply(rss, np.random.default_rng(seed))
+    steps = observed / device.quantization_db
+    np.testing.assert_allclose(steps, np.round(steps), atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(dtype=np.float64, shape=(5, 9), elements=rss_values),
+    st.sampled_from(["BLU", "HTC", "S7", "LG", "MOTO", "OP3"]),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_no_reading_below_the_device_detection_threshold(rss, acronym, seed):
+    # A device never reports a signal weaker than its detection threshold:
+    # such readings collapse to the -100 dBm "not detected" floor.
+    device = paper_device(acronym)
+    observed = device.apply(rss, np.random.default_rng(seed))
+    assert (
+        (observed == RSS_FLOOR_DBM) | (observed >= device.detection_threshold_dbm)
+    ).all()

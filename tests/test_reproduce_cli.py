@@ -55,6 +55,7 @@ class TestParser:
             "fig6",
             "fig7",
             "ablation",
+            "robustness",
         }
 
 
@@ -98,6 +99,25 @@ class TestRegistrySubcommands:
         out = capsys.readouterr().out
         for name in ("FGSM", "PGD", "MIM", "MITM-manipulation", "MITM-spoofing"):
             assert name in out
+
+    def test_list_scenarios_enumerates_every_family(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "clean",
+            "drift",
+            "ap-outage",
+            "rogue-ap",
+            "unseen-device",
+            "adaptive-blackbox",
+        ):
+            assert name in out
+
+    def test_list_scenarios_tag_filter(self, capsys):
+        assert main(["list-scenarios", "--tag", "environment"]) == 0
+        out = capsys.readouterr().out
+        assert "drift" in out
+        assert "unseen-device" not in out
 
 
 class TestRunSubcommand:
@@ -162,3 +182,35 @@ class TestRunSubcommand:
     def test_run_clean_error_for_unknown_model(self, capsys):
         with pytest.raises(SystemExit, match="did you mean"):
             main(["run", "--models", "KNNN"])
+
+    def test_run_with_scenario_flags_skips_attack_sweep(self, capsys, tmp_path):
+        out_dir = tmp_path / "out"
+        exit_code = main(
+            [
+                "run",
+                "--models", "KNN",
+                "--devices", "OP3",
+                "--scenario", "drift", "ap-outage",
+                "--no-cache",
+                "--output-dir", str(out_dir),
+            ]
+        )
+        assert exit_code == 0
+        assert "KNN" in capsys.readouterr().out
+        rows = (out_dir / "results.csv").read_text().splitlines()
+        header, body = rows[0].split(","), rows[1:]
+        scenario_col = header.index("scenario")
+        assert {line.split(",")[scenario_col] for line in body} == {
+            "drift",
+            "ap-outage",
+        }
+
+    def test_run_clean_error_for_unknown_scenario(self, capsys):
+        with pytest.raises(SystemExit, match="scenario"):
+            main(["run", "--models", "KNN", "--scenario", "earthquake"])
+
+    def test_run_rejects_spec_and_scenario_together(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(self.SPEC))
+        with pytest.raises(SystemExit, match="--scenario"):
+            main(["run", "--spec", str(spec_path), "--scenario", "drift"])
