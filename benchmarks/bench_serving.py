@@ -1,0 +1,260 @@
+#!/usr/bin/env python
+"""Benchmark harness for the production serving layer (``repro.serve``).
+
+Measures the online-phase request path end to end — store-published model,
+gateway routing, per-endpoint stats — under the two serving modes:
+
+``per_request``
+    Every request is routed and scored individually
+    (``ServingApp(batching=False)``): the latency-optimal baseline.
+``micro_batched``
+    Requests from concurrent callers queue in the endpoint's
+    :class:`~repro.serve.batching.MicroBatcher` and are flushed as one
+    batched ``localize`` call (``--max-batch`` / ``--max-wait-ms`` knobs):
+    the throughput-optimal path.
+
+Both modes replay the same stream of single-fingerprint requests from
+``--threads`` concurrent client threads and record per-request latency
+(p50/p99) plus overall requests/sec.  Predictions are asserted bit-identical
+between the two modes, against the direct
+:meth:`LocalizationService.localize` call, and across the HTTP API
+(``ServiceClient`` against a live ``repro serve`` server).
+
+Results are written to ``BENCH_serving.json`` (override with ``--output``)::
+
+    python benchmarks/bench_serving.py
+    python benchmarks/bench_serving.py --model CALLOC --requests 5000
+
+Exit status is non-zero when predictions diverge anywhere or when the
+micro-batched throughput falls below ``--min-speedup`` × the per-request
+throughput (default 2.0; pass 0 to disable the gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without installing
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.api import PROFILES, LocalizationService  # noqa: E402
+from repro.serve import ModelStore, ServiceClient, create_server  # noqa: E402
+from repro.serve.gateway import percentile  # noqa: E402
+from repro.serve.http import ServingApp  # noqa: E402
+
+
+def _drive(app: ServingApp, endpoint: str, queries: np.ndarray, threads: int) -> Dict[str, object]:
+    """Replay ``queries`` as single-fingerprint requests from ``threads`` callers."""
+    latencies: List[float] = [0.0] * queries.shape[0]
+    labels: List[int] = [0] * queries.shape[0]
+    cursor = {"next": 0}
+    lock = threading.Lock()
+
+    def worker() -> None:
+        while True:
+            with lock:
+                index = cursor["next"]
+                if index >= queries.shape[0]:
+                    return
+                cursor["next"] = index + 1
+            start = time.perf_counter()
+            result = app.localize(endpoint, queries[index])
+            latencies[index] = time.perf_counter() - start
+            labels[index] = int(result.labels[0])
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    wall_start = time.perf_counter()
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    return {
+        "wall_s": round(wall, 4),
+        "requests": queries.shape[0],
+        "requests_per_s": round(queries.shape[0] / wall, 2),
+        "latency_ms": {
+            "mean": round(float(np.mean(latencies)) * 1000.0, 4),
+            "p50": round(percentile(latencies, 50.0) * 1000.0, 4),
+            "p99": round(percentile(latencies, 99.0) * 1000.0, 4),
+            "max": round(max(latencies) * 1000.0, 4),
+        },
+        "labels": labels,
+    }
+
+
+def run_benchmark(
+    model: str = "CALLOC",
+    building: str = "Building 1",
+    profile: str = "quick",
+    requests: int = 2000,
+    threads: int = 32,
+    max_batch: int = 64,
+    max_wait_ms: float = 2.0,
+    cache: bool = True,
+    output: Optional[Path] = None,
+) -> Dict[str, object]:
+    """Run both serving modes plus the HTTP identity check; return the report."""
+    if profile not in PROFILES:
+        raise SystemExit(f"unknown profile '{profile}'; expected one of {sorted(PROFILES)}")
+    print(f"training {model} on {building} ({profile} profile) ...", flush=True)
+    service = LocalizationService.trained_on(
+        building, model=model, profile=profile, cache=cache
+    )
+    config = PROFILES[profile]()
+    from repro.eval.engine import ArtifactCache, simulate_campaign
+
+    campaign, _ = simulate_campaign(building, config, ArtifactCache.coerce(cache))
+    test = campaign.test_for(config.devices[0])
+    queries = np.tile(
+        test.features, (requests // test.features.shape[0] + 1, 1)
+    )[:requests]
+    direct_labels = [int(v) for v in service.localize(queries).labels]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as store_dir:
+        store = ModelStore(store_dir)
+        version = store.publish(service, model.lower(), tags=("bench",))
+        endpoint = f"{model.lower()}@bench"
+        print(f"published {version.ref}; replaying {requests} single-fingerprint "
+              f"requests from {threads} threads", flush=True)
+
+        modes: Dict[str, Dict[str, object]] = {}
+        print("per_request   (batching off) ...", flush=True)
+        app = ServingApp(store, batching=False)
+        modes["per_request"] = _drive(app, endpoint, queries, threads)
+        app.close()
+        print(f"  {modes['per_request']['wall_s']}s "
+              f"({modes['per_request']['requests_per_s']} req/s)")
+
+        print(f"micro_batched (max_batch={max_batch}, max_wait={max_wait_ms}ms) ...",
+              flush=True)
+        app = ServingApp(
+            store, batching=True, max_batch=max_batch, max_wait_ms=max_wait_ms
+        )
+        modes["micro_batched"] = _drive(app, endpoint, queries, threads)
+        batch_stats = app.batcher_for(endpoint).stats.as_dict()
+        app.close()
+        print(f"  {modes['micro_batched']['wall_s']}s "
+              f"({modes['micro_batched']['requests_per_s']} req/s, "
+              f"mean batch {batch_stats['mean_batch_size']})")
+
+        # HTTP identity: the full client -> server -> gateway -> model path
+        # must reproduce the direct call bit for bit.
+        server = create_server(store, port=0, max_batch=max_batch, max_wait_ms=max_wait_ms)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            client = ServiceClient(f"http://{host}:{port}")
+            http_result = client.localize(test.features, model=endpoint)
+            http_identical = http_result.labels.tolist() == [
+                int(v) for v in service.localize(test.features).labels
+            ]
+        finally:
+            server.shutdown()
+            server.app.close()
+            server.server_close()
+
+    identical = {
+        "per_request_vs_direct": modes["per_request"].pop("labels") == direct_labels,
+        "micro_batched_vs_direct": modes["micro_batched"].pop("labels") == direct_labels,
+        "http_vs_direct": http_identical,
+    }
+    speedup = (
+        modes["micro_batched"]["requests_per_s"] / modes["per_request"]["requests_per_s"]  # type: ignore[operator]
+    )
+    report: Dict[str, object] = {
+        "benchmark": "serving",
+        "version": __version__,
+        "created_unix": time.time(),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "profile": profile,
+        "model": model,
+        "building": building,
+        "requests": requests,
+        "client_threads": threads,
+        "micro_batching": {
+            "max_batch": max_batch,
+            "max_wait_ms": max_wait_ms,
+            **batch_stats,
+        },
+        "modes": modes,
+        "throughput_speedup": round(speedup, 3),
+        "identical": identical,
+    }
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+    print(f"micro-batched throughput {speedup:.2f}x the per-request path")
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--model",
+        default="CALLOC",
+        help="registry name of the served model (CALLOC: the paper's framework; "
+        "its attention forward pass is where micro-batching pays off)",
+    )
+    parser.add_argument("--building", default="Building 1")
+    parser.add_argument("--profile", default="quick", choices=sorted(PROFILES))
+    parser.add_argument("--requests", type=int, default=2000,
+                        help="number of single-fingerprint requests to replay")
+    parser.add_argument("--threads", type=int, default=32,
+                        help="concurrent client threads")
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk artefact cache when training")
+    parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_serving.json")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="fail unless micro-batched throughput reaches this "
+                        "factor over per-request (0 disables the gate)")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(
+        model=args.model,
+        building=args.building,
+        profile=args.profile,
+        requests=args.requests,
+        threads=args.threads,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache=not args.no_cache,
+        output=args.output,
+    )
+    if not all(report["identical"].values()):
+        diverged = [name for name, same in report["identical"].items() if not same]
+        print(f"FAIL: predictions diverged in: {diverged}", file=sys.stderr)
+        return 1
+    if args.min_speedup > 0 and report["throughput_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: micro-batched speedup {report['throughput_speedup']:.2f}x below "
+            f"required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

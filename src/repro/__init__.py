@@ -20,7 +20,12 @@ Localization.  The package provides:
 * :mod:`repro.api` — the declarative entry point: serializable
   :class:`ExperimentSpec` experiments executed by
   :func:`run_experiment` / :meth:`ExperimentRunner.run`, and the
-  :class:`LocalizationService` facade for the online phase.
+  :class:`LocalizationService` facade for the online phase;
+* :mod:`repro.serve` — the production serving layer: the versioned
+  :class:`ModelStore` (``publish``/``resolve``/``promote``), the
+  multi-tenant :class:`Gateway` with LRU loading and per-endpoint metrics,
+  the :class:`MicroBatcher` throughput executor, and the ``repro serve``
+  JSON API with its :class:`ServiceClient`.
 
 Quickstart::
 
@@ -70,8 +75,9 @@ from .registry import (
     register_localizer,
     register_scenario,
 )
+from .serve import Gateway, MicroBatcher, ModelStore, ServiceClient
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CALLOC",
@@ -89,6 +95,10 @@ __all__ = [
     "run_experiment",
     "LocalizationService",
     "LocalizationResult",
+    "ModelStore",
+    "Gateway",
+    "MicroBatcher",
+    "ServiceClient",
     "register_localizer",
     "register_attack",
     "register_scenario",

@@ -419,6 +419,7 @@ class LocalizationService:
             else make_localizer(self.model_name, **self.params)
         )
         self._rp_positions: Optional[np.ndarray] = None
+        self._num_aps: Optional[int] = None
 
     # -- offline phase --------------------------------------------------
     @property
@@ -429,6 +430,7 @@ class LocalizationService:
         """Train the underlying model on the offline fingerprint database."""
         self.localizer.fit(dataset)
         self._rp_positions = np.asarray(dataset.rp_positions, dtype=np.float64)
+        self._num_aps = int(dataset.num_aps)
         return self
 
     @classmethod
@@ -470,6 +472,7 @@ class LocalizationService:
         service._rp_positions = np.asarray(
             campaign.train.rp_positions, dtype=np.float64
         )
+        service._num_aps = int(campaign.train.num_aps)
         return service
 
     # -- online phase ---------------------------------------------------
@@ -490,15 +493,29 @@ class LocalizationService:
             features = np.asarray(batch, dtype=np.float64)
             if features.ndim == 1:
                 features = features[None, :]
+        if (
+            features.shape[0]
+            and self._num_aps is not None
+            and features.shape[1] != self._num_aps
+        ):
+            raise ValueError(
+                f"fingerprints have {features.shape[1]} APs but "
+                f"'{self.model_name}' was fitted on {self._num_aps}"
+            )
+        predict_proba = getattr(self.localizer, "predict_proba", None)
+        if not callable(predict_proba):
+            predict_proba = None
         labels_parts: List[np.ndarray] = []
         proba_parts: List[np.ndarray] = []
+        proba_missing = False
         for start in range(0, features.shape[0], self.batch_size):
             chunk = features[start : start + self.batch_size]
-            proba = None
-            predict_proba = getattr(self.localizer, "predict_proba", None)
-            if callable(predict_proba):
-                proba = predict_proba(chunk)
+            proba = predict_proba(chunk) if predict_proba is not None else None
             if proba is None:
+                # A model may expose predict_proba yet decline for some
+                # chunks; probabilities are then dropped for the whole batch
+                # rather than silently misaligning with the labels.
+                proba_missing = True
                 labels_parts.append(np.asarray(self.localizer.predict(chunk)))
             else:
                 proba = np.asarray(proba, dtype=np.float64)
@@ -509,7 +526,9 @@ class LocalizationService:
             if labels_parts
             else np.empty(0, dtype=np.int64)
         )
-        probabilities = np.concatenate(proba_parts) if proba_parts else None
+        probabilities = (
+            np.concatenate(proba_parts) if proba_parts and not proba_missing else None
+        )
         coordinates = self._rp_positions[labels]
         if probabilities is not None:
             # Expected distance from the predicted point under the class
@@ -531,37 +550,63 @@ class LocalizationService:
         return self.localizer.error_summary(dataset)
 
     # -- persistence ----------------------------------------------------
-    def save(self, path: PathLike) -> Path:
-        """Persist the fitted service as one ``.npz`` archive.
+    @property
+    def supports_persistence(self) -> bool:
+        """Whether the underlying localizer implements the state-array protocol."""
+        return callable(getattr(self.localizer, "state_arrays", None)) and callable(
+            getattr(self.localizer, "load_state_arrays", None)
+        )
 
-        Requires the underlying localizer to implement the state-array
-        protocol (``state_arrays``/``load_state_arrays``), as CALLOC and KNN
-        do.
+    def _validated_params(self) -> Dict[str, Any]:
+        """The constructor params, guaranteed JSON-serializable.
+
+        Failing here — before any array is written — turns an opaque
+        ``json.dumps`` crash deep inside persistence into an error naming
+        the offending key.
+        """
+        for key, value in self.params.items():
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError) as error:
+                raise TypeError(
+                    f"LocalizationService param '{key}' is not JSON-serializable "
+                    f"({value!r}); persistence stores params as JSON metadata — "
+                    f"use plain numbers/strings/lists ({error})"
+                ) from error
+        return dict(self.params)
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """The fitted service as one flat named-array archive.
+
+        This is the canonical serialized form shared by :meth:`save` (one
+        ``.npz`` file) and :meth:`repro.serve.ModelStore.publish` (a
+        content-addressed store artifact): a ``service/meta`` JSON cell,
+        the reference-point coordinates, and the localizer's state arrays
+        under a ``model/`` prefix.
         """
         if not self.is_fitted:
             raise RuntimeError("cannot save an unfitted LocalizationService")
-        state_arrays = getattr(self.localizer, "state_arrays", None)
-        if not callable(state_arrays):
+        if not self.supports_persistence:
             raise TypeError(
                 f"localizer '{self.model_name}' does not support persistence "
                 "(missing state_arrays/load_state_arrays)"
             )
         meta = {
             "model": self.model_name,
-            "params": self.params,
+            "params": self._validated_params(),
             "batch_size": self.batch_size,
+            "num_aps": self._num_aps,
         }
         arrays: Dict[str, np.ndarray] = {"service/meta": np.array(json.dumps(meta))}
         arrays["service/rp_positions"] = self._rp_positions
         arrays.update(
-            {f"model/{name}": value for name, value in state_arrays().items()}
+            {f"model/{name}": value for name, value in self.localizer.state_arrays().items()}
         )
-        return save_state_dict(arrays, path)
+        return arrays
 
     @classmethod
-    def load(cls, path: PathLike) -> "LocalizationService":
-        """Rebuild a fitted service from a :meth:`save` archive."""
-        arrays = load_state_dict(path)
+    def from_state_arrays(cls, arrays: Mapping[str, np.ndarray]) -> "LocalizationService":
+        """Rebuild a fitted service from a :meth:`state_arrays` archive."""
         meta = json.loads(str(np.asarray(arrays["service/meta"]).item()))
         service = cls(
             model=meta["model"],
@@ -578,4 +623,22 @@ class LocalizationService:
         service._rp_positions = np.asarray(
             arrays["service/rp_positions"], dtype=np.float64
         )
+        num_aps = meta.get("num_aps")  # absent in pre-1.3 archives
+        service._num_aps = int(num_aps) if num_aps is not None else None
         return service
+
+    def save(self, path: PathLike) -> Path:
+        """Persist the fitted service as one ``.npz`` archive.
+
+        Requires the underlying localizer to implement the state-array
+        protocol (``state_arrays``/``load_state_arrays``), as CALLOC and KNN
+        do.  For versioned, named deployment artifacts use
+        :class:`repro.serve.ModelStore` instead; this remains the thin
+        single-file path.
+        """
+        return save_state_dict(self.state_arrays(), path)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "LocalizationService":
+        """Rebuild a fitted service from a :meth:`save` archive."""
+        return cls.from_state_arrays(load_state_dict(path))

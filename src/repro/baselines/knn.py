@@ -37,7 +37,13 @@ class KNNLocalizer(Localizer):
         self._num_classes = dataset.num_classes
         return self
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def _vote_counts(self, features: np.ndarray) -> np.ndarray:
+        """Per-class neighbour votes, shape ``(n, num_classes)``, fully vectorised.
+
+        One distance matmul + one scatter-add for the whole batch — no
+        per-row Python loop, which is what makes the batched prediction path
+        (and therefore serving-side micro-batching) pay off.
+        """
         if self._features is None:
             raise RuntimeError("KNN must be fitted before prediction")
         features = np.asarray(features, dtype=np.float64)
@@ -49,11 +55,18 @@ class KNNLocalizer(Localizer):
             + (self._features ** 2).sum(axis=1)[None, :]
         )
         neighbour_indices = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
-        predictions = np.empty(features.shape[0], dtype=np.int64)
-        for row, neighbours in enumerate(neighbour_indices):
-            votes = np.bincount(self._labels[neighbours], minlength=self._num_classes)
-            predictions[row] = int(votes.argmax())
-        return predictions
+        counts = np.zeros((features.shape[0], self._num_classes), dtype=np.int64)
+        np.add.at(
+            counts,
+            (np.arange(features.shape[0])[:, None], self._labels[neighbour_indices]),
+            1,
+        )
+        return counts
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        # argmax over vote counts: identical tie-breaking (lowest class wins)
+        # to the historical per-row bincount loop.
+        return self._vote_counts(features).argmax(axis=1).astype(np.int64)
 
     def state_arrays(self) -> Dict[str, np.ndarray]:
         """Fitted state as named arrays (see ``LocalizationService.save``)."""
@@ -74,18 +87,8 @@ class KNNLocalizer(Localizer):
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         """Vote fractions among the k nearest neighbours."""
-        if self._features is None:
-            raise RuntimeError("KNN must be fitted before prediction")
-        features = np.asarray(features, dtype=np.float64)
-        k = min(self.k, self._features.shape[0])
-        distances = (
-            (features ** 2).sum(axis=1, keepdims=True)
-            - 2.0 * features @ self._features.T
-            + (self._features ** 2).sum(axis=1)[None, :]
-        )
-        neighbour_indices = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
-        probabilities = np.zeros((features.shape[0], self._num_classes))
-        for row, neighbours in enumerate(neighbour_indices):
-            votes = np.bincount(self._labels[neighbours], minlength=self._num_classes)
-            probabilities[row] = votes / votes.sum()
-        return probabilities
+        counts = self._vote_counts(features)
+        # Every row's votes sum to k, so dividing by the row sum is the same
+        # float division the per-row loop performed.
+        totals = counts.sum(axis=1, keepdims=True)
+        return counts / np.maximum(totals, 1)

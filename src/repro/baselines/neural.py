@@ -11,7 +11,7 @@ training set is augmented).
 from __future__ import annotations
 
 import abc
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -131,6 +131,43 @@ class NeuralNetworkLocalizer(DifferentiableLocalizer):
         shifted = logits.data - logits.data.max(axis=1, keepdims=True)
         exps = np.exp(shifted)
         return exps / exps.sum(axis=1, keepdims=True)
+
+    # ------------------------------------------------------------------
+    # State-array persistence protocol (LocalizationService / ModelStore)
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Fitted state as named arrays: network weights + dataset dimensions.
+
+        Prediction for every :class:`NeuralNetworkLocalizer` subclass depends
+        only on the trained network, so the generic export here makes DNN,
+        CNN, ANVIL and AdvLoc persistable through
+        :meth:`repro.api.LocalizationService.save` and publishable to
+        :class:`repro.serve.ModelStore` exactly like KNN and CALLOC.
+        """
+        if self.network is None:
+            raise RuntimeError(f"{self.name} must be fitted before exporting state")
+        arrays = {
+            f"network/{name}": value
+            for name, value in self.network.state_dict().items()
+        }
+        arrays["dims"] = np.array([self._num_aps, self._num_classes], dtype=np.int64)
+        return arrays
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> "NeuralNetworkLocalizer":
+        """Restore fitted state previously exported by :meth:`state_arrays`."""
+        dims = np.asarray(arrays["dims"]).ravel()
+        self._num_aps, self._num_classes = int(dims[0]), int(dims[1])
+        self.network = self.build_network(self._num_aps, self._num_classes)
+        prefix = "network/"
+        self.network.load_state_dict(
+            {
+                name[len(prefix):]: value
+                for name, value in arrays.items()
+                if name.startswith(prefix)
+            }
+        )
+        self.network.eval()
+        return self
 
     # ------------------------------------------------------------------
     # GradientProvider protocol (white-box attacks)

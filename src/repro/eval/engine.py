@@ -318,6 +318,32 @@ class ArtifactCache:
         self.stats.misses += 1
         return None
 
+    def export(self, kind: str, digest: str, destination: Union[str, Path]) -> Path:
+        """Copy one stored artefact out of the cache to ``destination``.
+
+        The export hook for downstream artifact registries (e.g.
+        :class:`repro.serve.ModelStore`): a cached/stored ``.npz`` or ``.pkl``
+        payload becomes a standalone file without a deserialize/reserialize
+        round-trip.  Raises :class:`FileNotFoundError` when the digest is not
+        stored under either format.
+        """
+        destination = Path(destination).expanduser()
+        for extension in ("npz", "pkl"):
+            source = self.path_for(kind, digest, extension)
+            if not source.exists():
+                continue
+            if destination.suffix != f".{extension}":
+                destination = destination.with_name(destination.name + f".{extension}")
+
+            def writer(temp_path: Path) -> None:
+                temp_path.write_bytes(source.read_bytes())
+
+            self._write_atomic(destination, writer)
+            return destination
+        raise FileNotFoundError(
+            f"no '{kind}' artefact {digest[:12]}… under {self.root}"
+        )
+
     def put_arrays(self, kind: str, digest: str, arrays: Dict[str, np.ndarray]) -> None:
         if not self.enabled:
             return

@@ -52,6 +52,7 @@ __all__ = [
     "Registry",
     "RegistryEntry",
     "RegistryError",
+    "catalog_document",
     "LOCALIZERS",
     "ATTACKS",
     "SCENARIOS",
@@ -65,6 +66,16 @@ __all__ = [
     "available_attacks",
     "available_scenarios",
 ]
+
+
+def catalog_document(kind: str, entries: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Envelope of every machine-readable catalog the library emits.
+
+    ``repro list-models/--attacks/--scenarios --json``, the model store's
+    catalog and the serving gateway's ``GET /v1/models`` all wrap their
+    entries in this one format: ``{"kind", "count", "entries"}``.
+    """
+    return {"kind": kind, "count": len(entries), "entries": entries}
 
 
 class RegistryError(KeyError):
@@ -93,6 +104,15 @@ class RegistryEntry:
         """First line of the factory's docstring (for ``list-*`` CLI output)."""
         doc = getattr(self.factory, "__doc__", None) or ""
         return doc.strip().splitlines()[0] if doc.strip() else ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready description (one catalog entry)."""
+        return {
+            "name": self.name,
+            "tags": list(self.tags),
+            "summary": self.summary,
+            "aliases": list(self.aliases),
+        }
 
 
 @dataclass
@@ -207,6 +227,15 @@ class Registry:
     def as_dict(self, tag: Optional[str] = None) -> Dict[str, Callable[..., Any]]:
         """``{name: factory}`` snapshot (what the legacy dicts used to be)."""
         return {name: self._entries[name].factory for name in self.names(tag)}
+
+    def catalog(self, tag: Optional[str] = None) -> List[Dict[str, Any]]:
+        """JSON-ready entry list — the machine-readable component catalog.
+
+        The same ``name``/``tags``/``summary`` entry shape is emitted by
+        ``repro list-models --json`` (and siblings) and by the serving
+        gateway's ``GET /v1/models``, so external tooling parses one format.
+        """
+        return [entry.as_dict() for entry in self.entries(tag)]
 
     def __contains__(self, name: object) -> bool:
         self._populate()

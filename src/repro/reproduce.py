@@ -9,6 +9,15 @@ Subcommands
 ``list-scenarios``
     Enumerate every registered robustness scenario family (drift, AP outage,
     rogue APs, unseen-device generalization, adaptive black-box, ...).
+    All three ``list-*`` commands accept ``--json`` for the machine-readable
+    catalog format shared with the serving gateway's ``GET /v1/models``.
+``store``
+    Manage the versioned model store: ``publish`` (train via the cached
+    engine and publish), ``list``, ``inspect``, ``promote``, ``export``.
+``serve``
+    Run the production serving API (``POST /v1/localize``, ``GET
+    /v1/models``, ``/healthz``, ``/metrics``) over a model store, with
+    per-endpoint micro-batching.
 ``artefact NAME [NAME ...]``
     Regenerate specific tables/figures of the paper (or ``all``); the
     ``robustness`` artefact renders the model × scenario matrix and, with
@@ -37,11 +46,17 @@ Run a declarative experiment::
 Evaluate robustness scenarios instead of the crafted-attack grid::
 
     python -m repro run --models KNN DNN --scenario drift ap-outage
+
+Publish a quick-profile model and serve it::
+
+    python -m repro store publish --building "Building 1" --model KNN --tag prod
+    python -m repro serve --port 8080
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -165,6 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="restrict to one tag (e.g. environment, infrastructure, adversarial)",
     )
+    for list_parser in (list_models, list_attacks, list_scenarios):
+        list_parser.add_argument(
+            "--json",
+            action="store_true",
+            help="emit the machine-readable catalog (same format as GET /v1/models)",
+        )
 
     artefact = subparsers.add_parser(
         "artefact", help="regenerate specific tables/figures of the paper"
@@ -213,6 +234,99 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(run, suppress=True)
 
+    store = subparsers.add_parser(
+        "store", help="manage the versioned model store (publish/list/inspect/...)"
+    )
+    store.add_argument(
+        "--store",
+        dest="store_dir",
+        type=Path,
+        default=None,
+        help="store root (default: <cache root>/store)",
+    )
+    store_actions = store.add_subparsers(dest="store_action", required=True)
+    store_list = store_actions.add_parser("list", help="list published models")
+    store_list.add_argument("--json", action="store_true")
+    store_inspect = store_actions.add_parser(
+        "inspect", help="show one reference (NAME, NAME@tag or NAME@vN)"
+    )
+    store_inspect.add_argument("ref")
+    store_publish = store_actions.add_parser(
+        "publish", help="train via the cached engine and publish a named version"
+    )
+    store_publish.add_argument("--building", required=True)
+    store_publish.add_argument("--model", default="CALLOC")
+    store_publish.add_argument(
+        "--name", default=None, help="store name (default: lowercased model name)"
+    )
+    store_publish.add_argument(
+        "--tag", action="append", default=[], help="tag(s) to point at the new version"
+    )
+    store_publish.add_argument("--profile", choices=sorted(_PROFILES), default="quick")
+    store_publish.add_argument("--no-cache", action="store_true")
+    store_promote = store_actions.add_parser(
+        "promote", help="point a tag at the version a reference selects"
+    )
+    store_promote.add_argument("ref")
+    store_promote.add_argument("tag")
+    store_export = store_actions.add_parser(
+        "export", help="export a reference as a standalone .npz service archive"
+    )
+    store_export.add_argument("ref")
+    store_export.add_argument("destination", type=Path)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the JSON serving API over a model store"
+    )
+    serve.add_argument(
+        "--store",
+        dest="store_dir",
+        type=Path,
+        default=None,
+        help="store root (default: <cache root>/store)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--route",
+        action="append",
+        default=[],
+        metavar="ENDPOINT=REF",
+        help="map a tenant endpoint to a store ref (repeatable), "
+        "e.g. --route building-1/calloc=calloc@prod",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="micro-batching: flush once this many fingerprints are queued",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=5.0,
+        help="micro-batching: flush at the latest this long after the oldest request",
+    )
+    serve.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="serve every request individually (per-request baseline)",
+    )
+    serve.add_argument(
+        "--max-loaded",
+        type=int,
+        default=8,
+        help="LRU capacity: how many loaded services the gateway keeps in memory",
+    )
+    serve.add_argument(
+        "--publish",
+        nargs=2,
+        metavar=("BUILDING", "MODEL"),
+        default=None,
+        help="train a quick-profile model through the cached engine and publish "
+        "it (as <model lowercased>) before serving — handy for smoke tests",
+    )
+
     return parser
 
 
@@ -254,36 +368,108 @@ def run_artefact(
     return text
 
 
+def _cmd_list_registry(kind: str, registry, args: argparse.Namespace) -> int:
+    """Shared body of the three ``list-*`` commands (table or ``--json``)."""
+    from .registry import catalog_document
+
+    if getattr(args, "json", False):
+        print(json.dumps(catalog_document(kind, registry.catalog(args.tag)), indent=2))
+        return 0
+    rows = [
+        [entry.name, "/".join(entry.tags), entry.summary]
+        for entry in registry.entries(args.tag)
+    ]
+    print(ascii_table(rows, headers=[kind, "tags", "description"]))
+    return 0
+
+
 def _cmd_list_models(args: argparse.Namespace) -> int:
     from .registry import LOCALIZERS
 
-    rows = [
-        [entry.name, "/".join(entry.tags), entry.summary]
-        for entry in LOCALIZERS.entries(args.tag)
-    ]
-    print(ascii_table(rows, headers=["model", "tags", "description"]))
-    return 0
+    return _cmd_list_registry("model", LOCALIZERS, args)
 
 
 def _cmd_list_attacks(args: argparse.Namespace) -> int:
     from .registry import ATTACKS
 
-    rows = [
-        [entry.name, "/".join(entry.tags), entry.summary]
-        for entry in ATTACKS.entries(args.tag)
-    ]
-    print(ascii_table(rows, headers=["attack", "tags", "description"]))
-    return 0
+    return _cmd_list_registry("attack", ATTACKS, args)
 
 
 def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     from .registry import SCENARIOS
 
-    rows = [
-        [entry.name, "/".join(entry.tags), entry.summary]
-        for entry in SCENARIOS.entries(args.tag)
-    ]
-    print(ascii_table(rows, headers=["scenario", "tags", "description"]))
+    return _cmd_list_registry("scenario", SCENARIOS, args)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .registry import catalog_document
+    from .serve import ModelStore
+
+    store = ModelStore(args.store_dir)
+    action = args.store_action
+    if action == "list":
+        if args.json:
+            print(json.dumps(catalog_document("served-model", store.catalog()), indent=2))
+            return 0
+        rows = []
+        for entry in store.catalog():
+            latest = entry["latest"]
+            rows.append(
+                [
+                    entry["name"],
+                    "/".join(entry["tags"]),
+                    f"v{latest['version']}",
+                    entry["summary"],
+                ]
+            )
+        print(ascii_table(rows, headers=["name", "tags", "latest", "description"]))
+    elif action == "inspect":
+        print(json.dumps(store.inspect(args.ref), indent=2))
+    elif action == "publish":
+        version = store.publish_trained(
+            args.building,
+            model=args.model,
+            name=args.name,
+            profile=args.profile,
+            cache=not args.no_cache,
+            tags=args.tag,
+        )
+        print(f"published {version.ref} (digest {version.digest[:12]}, "
+              f"tags: {', '.join(version.tags) or '-'})")
+    elif action == "promote":
+        version = store.promote(args.ref, args.tag)
+        print(f"tag '{args.tag}' -> {version.ref}")
+    elif action == "export":
+        path = store.export(args.ref, args.destination)
+        print(f"exported {args.ref} to {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ModelStore
+    from .serve.http import serve as serve_forever
+
+    store = ModelStore(args.store_dir)
+    if args.publish is not None:
+        building, model = args.publish
+        version = store.publish_trained(building, model=model, profile="quick")
+        print(f"published {version.ref} for serving")
+    routes = {}
+    for item in args.route:
+        endpoint, separator, ref = item.partition("=")
+        if not separator or not endpoint or not ref:
+            raise SystemExit(f"error: --route expects ENDPOINT=REF, got '{item}'")
+        routes[endpoint] = ref
+    serve_forever(
+        store,
+        host=args.host,
+        port=args.port,
+        routes=routes,
+        batching=not args.no_batching,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_loaded=args.max_loaded,
+    )
     return 0
 
 
@@ -380,6 +566,16 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_list_attacks(args)
     if command == "list-scenarios":
         return _cmd_list_scenarios(args)
+    if command == "store":
+        try:
+            return _cmd_store(args)
+        except (KeyError, ValueError, OSError) as error:
+            raise SystemExit(f"error: {error}")
+    if command == "serve":
+        try:
+            return _cmd_serve(args)
+        except (KeyError, ValueError, OSError) as error:
+            raise SystemExit(f"error: {error}")
     if command == "run":
         try:
             return _cmd_run(args)

@@ -1,0 +1,53 @@
+"""Production serving layer: versioned model store, gateway, micro-batching, HTTP.
+
+The offline half of the system (curriculum-adversarial training) runs through
+the cached parallel engine; this package productizes the *online* half —
+localizing live fingerprints at serving scale:
+
+* :mod:`repro.serve.store` — :class:`ModelStore`, a versioned,
+  content-addressed registry of fitted :class:`~repro.api.LocalizationService`
+  artifacts layered on the engine's
+  :class:`~repro.eval.engine.ArtifactCache`; ``publish`` / ``resolve`` /
+  ``promote`` turn anonymous cache entries into named deployable models
+  (``"calloc@prod"``).
+* :mod:`repro.serve.gateway` — :class:`Gateway`, the multi-tenant router
+  mapping endpoints to loaded services with lazy load-on-first-request, LRU
+  eviction and per-endpoint request/latency stats.
+* :mod:`repro.serve.batching` — :class:`MicroBatcher`, a throughput-oriented
+  executor that coalesces requests from many callers into one batched
+  ``localize`` call (max-batch / max-wait knobs) with bit-identical results.
+* :mod:`repro.serve.http` — the ``repro serve`` JSON API
+  (``POST /v1/localize``, ``GET /v1/models``, ``/healthz``, ``/metrics``) on
+  the stdlib :mod:`http.server`, plus the thin :class:`ServiceClient`.
+
+Quickstart::
+
+    from repro.serve import ModelStore, Gateway, serve
+    from repro import LocalizationService
+
+    store = ModelStore("./store")
+    service = LocalizationService.trained_on("Building 1", "KNN")
+    store.publish(service, "knn", tags=("prod",))
+
+    restored = store.resolve("knn@prod")      # bit-identical service
+    serve(store, port=8080)                   # or: repro serve --store ./store
+"""
+
+from .batching import BatchStats, MicroBatcher
+from .gateway import EndpointStats, Gateway
+from .http import ServiceClient, ServingApp, create_server, serve
+from .store import ModelStore, ModelVersion, StoreError
+
+__all__ = [
+    "ModelStore",
+    "ModelVersion",
+    "StoreError",
+    "Gateway",
+    "EndpointStats",
+    "MicroBatcher",
+    "BatchStats",
+    "ServingApp",
+    "ServiceClient",
+    "create_server",
+    "serve",
+]

@@ -1,0 +1,245 @@
+"""Micro-batching executor: coalesce many callers into one batched ``localize``.
+
+Per-request model inference pays the full Python/NumPy dispatch overhead for
+every single fingerprint; the batched prediction path amortizes it across the
+whole batch.  :class:`MicroBatcher` exploits that for serving throughput:
+requests from many callers (e.g. the threads of the HTTP server) queue up and
+a background flusher drains them as *one* batched call whenever
+
+* ``max_batch`` fingerprints have accumulated, or
+* the oldest queued request has waited ``max_wait_ms``, or
+* the queue went *quiescent* — no new request arrived within a short poll
+  interval — so waiting longer could not grow the batch (this is what keeps
+  added latency near zero under light load: while one batch computes, new
+  arrivals queue up and become the next batch, so the batch size adapts to
+  the arrival rate instead of to an artificial timer).
+
+Results are split back per request, so batching is invisible to callers —
+``batcher.localize(x)`` is bit-identical to ``localize_fn(x)``: the batched
+prediction path is row-wise deterministic, and rows are concatenated and
+split in strict arrival order.
+
+The batcher is generic over the flush target: pass
+``service.localize`` for a single model or
+``functools.partial(gateway.localize, endpoint)`` for one gateway endpoint
+(batches must never mix endpoints — different models disagree on feature
+dimensionality and semantics).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..api import LocalizationResult
+
+__all__ = ["BatchStats", "MicroBatcher"]
+
+
+@dataclass
+class _Pending:
+    features: np.ndarray
+    future: Future
+    enqueued: float
+
+
+@dataclass
+class BatchStats:
+    """Flush counters of one :class:`MicroBatcher`."""
+
+    requests: int = 0
+    fingerprints: int = 0
+    batches: int = 0
+    max_batch_size: int = 0
+    #: Bounded window of recent flush sizes (a long-lived server must not
+    #: accumulate one entry per batch forever).
+    batch_sizes: deque = field(default_factory=lambda: deque(maxlen=1024))
+
+    def record_batch(self, rows: int) -> None:
+        self.batches += 1
+        self.fingerprints += int(rows)
+        self.batch_sizes.append(int(rows))
+        self.max_batch_size = max(self.max_batch_size, int(rows))
+
+    def as_dict(self) -> Dict[str, Any]:
+        mean = self.fingerprints / self.batches if self.batches else None
+        return {
+            "requests": self.requests,
+            "fingerprints": self.fingerprints,
+            "batches": self.batches,
+            "mean_batch_size": round(mean, 3) if mean is not None else None,
+            "max_batch_size": self.max_batch_size if self.batches else None,
+        }
+
+
+class MicroBatcher:
+    """Queue requests and flush them as one batched ``localize`` call.
+
+    Parameters
+    ----------
+    localize_fn:
+        Callable taking one ``(n, num_aps)`` feature array and returning a
+        :class:`~repro.api.LocalizationResult` for it.
+    max_batch:
+        Flush as soon as this many fingerprints are queued (a single request
+        larger than ``max_batch`` still flushes as one batch — requests are
+        never split).
+    max_wait_ms:
+        Flush at the latest this long after the *oldest* queued request
+        arrived.  This is an upper bound; a quiescent queue flushes after a
+        single poll interval (a tenth of ``max_wait_ms``, clamped to
+        [0.05 ms, 1 ms]) without waiting out the deadline.
+    """
+
+    def __init__(
+        self,
+        localize_fn: Callable[[np.ndarray], "LocalizationResult"],
+        max_batch: int = 64,
+        max_wait_ms: float = 5.0,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.localize_fn = localize_fn
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self._poll_s = min(1e-3, max(5e-5, self.max_wait_s / 10.0))
+        self.stats = BatchStats()
+        self._queue: List[_Pending] = []
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self._flusher = threading.Thread(
+            target=self._run, name="repro-microbatcher", daemon=True
+        )
+        self._flusher.start()
+
+    # -- client side ----------------------------------------------------
+    def submit(self, features: Sequence) -> "Future[LocalizationResult]":
+        """Enqueue one request; the future resolves to its own result slice."""
+        array = np.asarray(features, dtype=np.float64)
+        if array.ndim == 1:
+            array = array[None, :]
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            self._queue.append(_Pending(array, future, time.perf_counter()))
+            self.stats.requests += 1
+            # Wake the flusher only on transitions it cares about (queue was
+            # empty, or the batch just filled); intermediate arrivals are
+            # picked up by its poll loop.  Under heavy concurrency this
+            # avoids one context switch per request.
+            if len(self._queue) == 1 or self._queued_rows() >= self.max_batch:
+                self._wakeup.notify()
+        return future
+
+    def localize(self, features: Sequence) -> "LocalizationResult":
+        """Blocking convenience around :meth:`submit`."""
+        return self.submit(features).result()
+
+    # -- flusher --------------------------------------------------------
+    def _queued_rows(self) -> int:
+        return sum(item.features.shape[0] for item in self._queue)
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._wakeup.wait()
+                if self._closed and not self._queue:
+                    return
+                # Wait (briefly) for the batch to fill: never past the oldest
+                # request's deadline, and only while requests keep arriving —
+                # a queue that stayed flat for one poll interval flushes
+                # immediately instead of idling out the deadline.
+                deadline = self._queue[0].enqueued + self.max_wait_s
+                while (
+                    self._queued_rows() < self.max_batch
+                    and not self._closed
+                    and (remaining := deadline - time.perf_counter()) > 0
+                ):
+                    rows_before = self._queued_rows()
+                    self._wakeup.wait(timeout=min(remaining, self._poll_s))
+                    if self._queued_rows() == rows_before:
+                        break
+                batch: List[_Pending] = []
+                rows = 0
+                while self._queue and (not batch or rows < self.max_batch):
+                    item = self._queue.pop(0)
+                    batch.append(item)
+                    rows += item.features.shape[0]
+            self._flush(batch)
+
+    def _flush(self, batch: List[_Pending]) -> None:
+        try:
+            features = np.concatenate([item.features for item in batch], axis=0)
+            result = self.localize_fn(features)
+        except Exception:
+            # One bad request (e.g. a mismatched fingerprint width) must
+            # neither kill the flusher thread nor fail its batch-mates:
+            # degrade to per-request calls so each caller gets its own
+            # result or its own error.
+            self._flush_individually(batch)
+            return
+        self.stats.record_batch(features.shape[0])
+        start = 0
+        for item in batch:
+            stop = start + item.features.shape[0]
+            # A caller may have cancelled its future (e.g. after a result()
+            # timeout); set_result would then raise InvalidStateError and
+            # kill the flusher.  set_running_or_notify_cancel returns False
+            # exactly for cancelled futures — skip those.
+            if item.future.set_running_or_notify_cancel():
+                item.future.set_result(_slice_result(result, start, stop))
+            start = stop
+
+    def _flush_individually(self, batch: List[_Pending]) -> None:
+        for item in batch:
+            if not item.future.set_running_or_notify_cancel():
+                continue  # caller cancelled while queued
+            try:
+                result = self.localize_fn(item.features)
+            except Exception as error:
+                item.future.set_exception(error)
+            else:
+                self.stats.record_batch(item.features.shape[0])
+                item.future.set_result(result)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Drain the queue and stop the flusher thread."""
+        with self._lock:
+            self._closed = True
+            self._wakeup.notify_all()
+        self._flusher.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _slice_result(result: "LocalizationResult", start: int, stop: int):
+    """One request's slice of a batched :class:`LocalizationResult`."""
+    from ..api import LocalizationResult
+
+    return LocalizationResult(
+        labels=result.labels[start:stop],
+        coordinates=result.coordinates[start:stop],
+        error_estimate=result.error_estimate[start:stop],
+        probabilities=(
+            result.probabilities[start:stop]
+            if result.probabilities is not None
+            else None
+        ),
+    )

@@ -1,0 +1,229 @@
+"""Multi-tenant request router over a :class:`~repro.serve.store.ModelStore`.
+
+The :class:`Gateway` is the serving-side counterpart of the store: tenants
+address models by *endpoint* — either an explicit route registered with
+:meth:`Gateway.add_route` (``"building-1/calloc" -> "calloc@prod"``) or a
+store reference used directly (``"calloc@prod"``).  Services are loaded
+lazily on first request, kept in a bounded LRU (so a gateway serving dozens
+of buildings × models holds only the hot ones in memory), and every endpoint
+accumulates request counters and latency statistics for ``GET /metrics``.
+
+Routing never changes predictions: ``gateway.localize(endpoint, batch)`` is
+bit-identical to ``store.resolve(ref).localize(batch)``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
+
+from .store import ModelStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..api import LocalizationResult, LocalizationService
+
+__all__ = ["EndpointStats", "Gateway", "percentile"]
+
+
+def percentile(samples: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sample list."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class EndpointStats:
+    """Rolling request counters + latency stats of one gateway endpoint.
+
+    Thread-safe: concurrent server threads record into the same endpoint.
+    """
+
+    def __init__(self, window: int = 1024) -> None:
+        self.requests = 0
+        self.fingerprints = 0
+        self.errors = 0
+        self.total_seconds = 0.0
+        self.last_request_unix: Optional[float] = None
+        #: Bounded window of recent request latencies (seconds) for p50/p99.
+        self.latencies: deque = deque(maxlen=window)
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float, fingerprints: int) -> None:
+        with self._lock:
+            self.requests += 1
+            self.fingerprints += int(fingerprints)
+            self.total_seconds += seconds
+            self.latencies.append(seconds)
+            self.last_request_unix = time.time()
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            window = list(self.latencies)
+            mean_ms = (
+                self.total_seconds / self.requests * 1000.0 if self.requests else None
+            )
+            snapshot = (
+                self.requests,
+                self.fingerprints,
+                self.errors,
+                self.last_request_unix,
+            )
+        requests, fingerprints, errors, last_request_unix = snapshot
+        return {
+            "requests": requests,
+            "fingerprints": fingerprints,
+            "errors": errors,
+            "latency_ms": {
+                "mean": round(mean_ms, 4) if mean_ms is not None else None,
+                "p50": _ms(percentile(window, 50.0)),
+                "p99": _ms(percentile(window, 99.0)),
+                "max": _ms(max(window) if window else None),
+            },
+            "last_request_unix": last_request_unix,
+        }
+
+
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    return round(seconds * 1000.0, 4) if seconds is not None else None
+
+
+class Gateway:
+    """Routes ``(endpoint, batch)`` requests to lazily-loaded store services.
+
+    Parameters
+    ----------
+    store:
+        The :class:`ModelStore` references are resolved against.
+    max_loaded:
+        LRU capacity: at most this many loaded services are kept in memory;
+        the least-recently-used one is evicted when a new endpoint loads.
+    routes:
+        Optional initial ``endpoint -> store ref`` mapping.
+    """
+
+    def __init__(
+        self,
+        store: ModelStore,
+        max_loaded: int = 8,
+        routes: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        if max_loaded < 1:
+            raise ValueError("max_loaded must be >= 1")
+        self.store = store
+        self.max_loaded = int(max_loaded)
+        self._routes: Dict[str, str] = dict(routes or {})
+        #: ref -> loaded service, in LRU order (most recent last).
+        self._loaded: "OrderedDict[str, LocalizationService]" = OrderedDict()
+        self._stats: Dict[str, EndpointStats] = {}
+        self._lock = threading.Lock()
+        self.loads = 0
+        self.evictions = 0
+
+    # -- routing --------------------------------------------------------
+    def add_route(self, endpoint: str, ref: str) -> None:
+        """Map a tenant-facing endpoint name to a store reference."""
+        with self._lock:
+            self._routes[endpoint] = ref
+
+    def routes(self) -> Dict[str, str]:
+        with self._lock:
+            return dict(self._routes)
+
+    def resolve_endpoint(self, endpoint: str) -> str:
+        """The store reference an endpoint routes to (identity when unrouted)."""
+        with self._lock:
+            return self._routes.get(endpoint, endpoint)
+
+    def endpoints(self) -> List[str]:
+        """Every addressable endpoint: explicit routes + published models."""
+        with self._lock:
+            explicit = set(self._routes)
+        return sorted(explicit | set(self.store.list_models()))
+
+    # -- service loading ------------------------------------------------
+    def service_for(self, endpoint: str) -> "LocalizationService":
+        """The loaded service behind ``endpoint`` (lazy load + LRU update)."""
+        ref = self.resolve_endpoint(endpoint)
+        with self._lock:
+            service = self._loaded.get(ref)
+            if service is not None:
+                self._loaded.move_to_end(ref)
+                return service
+        # Resolve outside the lock: store I/O may be slow and must not block
+        # requests for already-loaded endpoints.
+        service = self.store.resolve(ref)
+        with self._lock:
+            if ref not in self._loaded:
+                self._loaded[ref] = service
+                self.loads += 1
+                while len(self._loaded) > self.max_loaded:
+                    self._loaded.popitem(last=False)
+                    self.evictions += 1
+            self._loaded.move_to_end(ref)
+            return self._loaded[ref]
+
+    def loaded_refs(self) -> List[str]:
+        """Refs currently resident, least-recently-used first."""
+        with self._lock:
+            return list(self._loaded)
+
+    # -- serving --------------------------------------------------------
+    def _stats_for(self, endpoint: str) -> EndpointStats:
+        with self._lock:
+            stats = self._stats.get(endpoint)
+            if stats is None:
+                stats = self._stats[endpoint] = EndpointStats()
+            return stats
+
+    def localize(self, endpoint: str, batch) -> "LocalizationResult":
+        """Route one localize request; bit-identical to the direct service call."""
+        start = time.perf_counter()
+        # Resolve before touching stats: an unknown endpoint must not leave a
+        # permanent EndpointStats entry behind (a fuzzing client would grow
+        # /metrics without bound, one entry per bogus name).
+        service = self.service_for(endpoint)
+        stats = self._stats_for(endpoint)
+        try:
+            result = service.localize(batch)
+        except Exception:
+            stats.record_error()
+            raise
+        stats.record(time.perf_counter() - start, len(result))
+        return result
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Gateway-level metrics document (rendered by ``GET /metrics``)."""
+        with self._lock:
+            endpoint_stats = {
+                endpoint: stats.as_dict() for endpoint, stats in self._stats.items()
+            }
+            loaded = list(self._loaded)
+            routes = dict(self._routes)
+        return {
+            "endpoints": endpoint_stats,
+            "loaded": loaded,
+            "loads": self.loads,
+            "evictions": self.evictions,
+            "max_loaded": self.max_loaded,
+            "routes": routes,
+            "store": {
+                "root": str(self.store.root),
+                "models": self.store.list_models(),
+                "artifact_cache": self.store.artifacts.stats.as_dict(),
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Gateway(store={self.store!r}, max_loaded={self.max_loaded}, "
+            f"loaded={len(self._loaded)})"
+        )

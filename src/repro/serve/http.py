@@ -1,0 +1,382 @@
+"""``repro serve``: a stdlib JSON API over the gateway, plus a thin client.
+
+Endpoints
+---------
+``POST /v1/localize``
+    Body ``{"model": "<endpoint or store ref>", "fingerprints": [[...], ...]}``
+    (a single flat fingerprint list is promoted to a batch of one; pass
+    ``"probabilities": true`` to include class probabilities).  Responds with
+    labels, coordinates, and per-query error estimates — bit-identical to a
+    direct :meth:`LocalizationService.localize` call on the same arrays.
+``GET /v1/models``
+    The machine-readable model catalog: the store's published models (same
+    entry shape as ``repro list-models --json``) plus the gateway's routes.
+``GET /healthz``
+    Liveness probe: status, version, uptime, model count.
+``GET /metrics``
+    Gateway per-endpoint request counters and latency percentiles, plus
+    per-endpoint micro-batching stats.
+
+Everything is stdlib (:mod:`http.server`, :mod:`urllib.request`): the serving
+layer adds no dependencies.  The server is a
+:class:`~http.server.ThreadingHTTPServer`, so concurrent tenant requests are
+what feeds the per-endpoint :class:`~repro.serve.batching.MicroBatcher`.
+
+Programmatic use::
+
+    server = create_server(ModelStore("./store"), port=0)     # 0 = any port
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    result = client.localize(fingerprints, model="calloc@prod")
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from functools import partial
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from .batching import MicroBatcher
+from .gateway import Gateway
+from .store import ModelStore, StoreError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..api import LocalizationResult
+
+__all__ = ["ServingApp", "ServiceClient", "create_server", "serve"]
+
+
+def _jsonable_floats(values: np.ndarray) -> List[Optional[float]]:
+    """Float array -> JSON list; NaN (no probability model) becomes ``null``."""
+    return [None if np.isnan(v) else float(v) for v in np.asarray(values, dtype=np.float64)]
+
+
+class ServingApp:
+    """The serving application behind the HTTP handler (and the benchmarks).
+
+    Owns the gateway plus one :class:`MicroBatcher` per endpoint (batches
+    must never mix endpoints).  ``batching=False`` routes requests straight
+    through the gateway — the per-request baseline the serving benchmark
+    compares against.
+    """
+
+    def __init__(
+        self,
+        store: ModelStore,
+        routes: Optional[Mapping[str, str]] = None,
+        max_loaded: int = 8,
+        batching: bool = True,
+        max_batch: int = 64,
+        max_wait_ms: float = 5.0,
+    ) -> None:
+        self.gateway = Gateway(store, max_loaded=max_loaded, routes=routes)
+        self.batching = bool(batching)
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.started_unix = time.time()
+        self._batchers: Dict[str, MicroBatcher] = {}
+        self._lock = threading.Lock()
+
+    # -- request paths --------------------------------------------------
+    def batcher_for(self, endpoint: str) -> MicroBatcher:
+        with self._lock:
+            batcher = self._batchers.get(endpoint)
+            if batcher is None:
+                batcher = MicroBatcher(
+                    partial(self.gateway.localize, endpoint),
+                    max_batch=self.max_batch,
+                    max_wait_ms=self.max_wait_ms,
+                )
+                self._batchers[endpoint] = batcher
+            return batcher
+
+    def localize(self, endpoint: str, features: Sequence) -> "LocalizationResult":
+        """One request through the configured path (micro-batched or direct)."""
+        if self.batching:
+            # Resolve the endpoint *before* creating a batcher (each batcher
+            # owns a flusher thread): unknown model names must 404, not
+            # accumulate one orphaned batcher per bogus name.
+            self.gateway.service_for(endpoint)
+            return self.batcher_for(endpoint).localize(features)
+        return self.gateway.localize(endpoint, features)
+
+    def close(self) -> None:
+        with self._lock:
+            batchers = list(self._batchers.values())
+            self._batchers.clear()
+        for batcher in batchers:
+            batcher.close()
+
+    # -- documents ------------------------------------------------------
+    def localize_document(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """Handle a parsed ``POST /v1/localize`` body; returns the response."""
+        if not isinstance(payload, Mapping):
+            raise ValueError("request body must be a JSON object")
+        endpoint = payload.get("model")
+        if not endpoint or not isinstance(endpoint, str):
+            raise ValueError("request must name a 'model' (endpoint or store ref)")
+        fingerprints = payload.get("fingerprints", payload.get("fingerprint"))
+        if fingerprints is None:
+            raise ValueError("request must carry 'fingerprints' (or 'fingerprint')")
+        features = np.asarray(fingerprints, dtype=np.float64)
+        if features.ndim == 1:
+            # A flat list is one fingerprint; the empty list is an empty batch.
+            features = features.reshape(0, 0) if features.size == 0 else features[None, :]
+        if features.ndim != 2:
+            raise ValueError(
+                f"fingerprints must be a (n, num_aps) matrix, got shape {features.shape}"
+            )
+        result = self.localize(endpoint, features)
+        document: Dict[str, Any] = {
+            "model": endpoint,
+            "ref": self.gateway.resolve_endpoint(endpoint),
+            "count": len(result),
+            "labels": [int(v) for v in result.labels],
+            "coordinates": [[float(x), float(y)] for x, y in result.coordinates],
+            "error_estimate": _jsonable_floats(result.error_estimate),
+        }
+        if payload.get("probabilities") and result.probabilities is not None:
+            document["probabilities"] = [
+                [float(v) for v in row] for row in result.probabilities
+            ]
+        return document
+
+    def models_document(self) -> Dict[str, Any]:
+        """``GET /v1/models``: the shared machine-readable catalog format."""
+        from ..registry import catalog_document
+
+        document = catalog_document("served-model", self.gateway.store.catalog())
+        document["routes"] = self.gateway.routes()
+        return document
+
+    def health_document(self) -> Dict[str, Any]:
+        from .. import __version__
+
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": round(time.time() - self.started_unix, 3),
+            "models": len(self.gateway.store.list_models()),
+            "batching": self.batching,
+        }
+
+    def metrics_document(self) -> Dict[str, Any]:
+        with self._lock:
+            batching = {
+                endpoint: batcher.stats.as_dict()
+                for endpoint, batcher in self._batchers.items()
+            }
+        return {
+            "gateway": self.gateway.stats(),
+            "batching": {
+                "enabled": self.batching,
+                "max_batch": self.max_batch,
+                "max_wait_ms": self.max_wait_ms,
+                "endpoints": batching,
+            },
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the four endpoints onto the :class:`ServingApp` documents."""
+
+    app: ServingApp  # injected via functools.partial in create_server
+    protocol_version = "HTTP/1.1"
+    #: Max accepted request body (64 MiB) — a campaign-sized batch fits easily.
+    max_body_bytes = 64 * 1024 * 1024
+
+    def __init__(self, app: ServingApp, *args, **kwargs) -> None:
+        self.app = app
+        super().__init__(*args, **kwargs)
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep the serving process quiet; metrics carry the counters
+
+    def _send_json(self, status: int, document: Mapping[str, Any]) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # -- verbs ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send_json(200, self.app.health_document())
+        elif path == "/metrics":
+            self._send_json(200, self.app.metrics_document())
+        elif path == "/v1/models":
+            self._send_json(200, self.app.models_document())
+        else:
+            self._send_error_json(404, f"unknown path {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0]
+        if path != "/v1/localize":
+            self._send_error_json(404, f"unknown path {path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length < 0 or length > self.max_body_bytes:
+            self._send_error_json(413, "invalid or oversized request body")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._send_error_json(400, f"malformed JSON body: {error}")
+            return
+        try:
+            document = self.app.localize_document(payload)
+        except StoreError as error:
+            self._send_error_json(404, str(error))
+        except (TypeError, ValueError) as error:
+            self._send_error_json(400, str(error))
+        except Exception as error:  # pragma: no cover - defensive 500
+            self._send_error_json(500, f"{type(error).__name__}: {error}")
+        else:
+            self._send_json(200, document)
+
+
+def create_server(
+    store: Union[ModelStore, str, None],
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    routes: Optional[Mapping[str, str]] = None,
+    batching: bool = True,
+    max_batch: int = 64,
+    max_wait_ms: float = 5.0,
+    max_loaded: int = 8,
+) -> ThreadingHTTPServer:
+    """Build the serving HTTP server (not yet serving; call ``serve_forever``).
+
+    ``store`` may be a :class:`ModelStore` or a store root path; ``port=0``
+    binds any free port (read it back from ``server.server_address``).  The
+    :class:`ServingApp` is exposed as ``server.app``.
+    """
+    if not isinstance(store, ModelStore):
+        store = ModelStore(store)
+    app = ServingApp(
+        store,
+        routes=routes,
+        max_loaded=max_loaded,
+        batching=batching,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+    )
+    server = ThreadingHTTPServer((host, port), partial(_Handler, app))
+    server.app = app  # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    store: Union[ModelStore, str, None],
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    **kwargs,
+) -> None:
+    """Blocking entry point behind ``repro serve`` (Ctrl-C to stop)."""
+    server = create_server(store, host=host, port=port, **kwargs)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port}")
+    print(f"  store: {server.app.gateway.store.root}")  # type: ignore[attr-defined]
+    models = server.app.gateway.store.list_models()  # type: ignore[attr-defined]
+    print(f"  models: {', '.join(models) if models else '<none published>'}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.app.close()  # type: ignore[attr-defined]
+        server.server_close()
+
+
+class ServiceClient:
+    """Thin JSON client for a ``repro serve`` endpoint.
+
+    :meth:`localize` mirrors :meth:`LocalizationService.localize`: it returns
+    a :class:`~repro.api.LocalizationResult` built from the response arrays.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+    def _request(
+        self, path: str, payload: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read().decode("utf-8")).get("error", "")
+            except Exception:
+                message = error.reason
+            raise RuntimeError(
+                f"{request.get_method()} {path} failed with {error.code}: {message}"
+            ) from error
+
+    # -- endpoints ------------------------------------------------------
+    def localize(
+        self,
+        fingerprints: Sequence,
+        model: str,
+        probabilities: bool = False,
+    ) -> "LocalizationResult":
+        """Localize a batch through the HTTP API; bit-identical to direct calls."""
+        from ..api import LocalizationResult
+
+        features = np.asarray(fingerprints, dtype=np.float64)
+        payload: Dict[str, Any] = {
+            "model": model,
+            "fingerprints": features.tolist(),
+        }
+        if probabilities:
+            payload["probabilities"] = True
+        document = self._request("/v1/localize", payload)
+        error_estimate = np.array(
+            [np.nan if v is None else v for v in document["error_estimate"]],
+            dtype=np.float64,
+        )
+        proba = document.get("probabilities")
+        return LocalizationResult(
+            labels=np.asarray(document["labels"], dtype=np.int64),
+            coordinates=np.asarray(document["coordinates"], dtype=np.float64).reshape(
+                len(document["labels"]), 2
+            ),
+            error_estimate=error_estimate,
+            probabilities=np.asarray(proba, dtype=np.float64) if proba else None,
+        )
+
+    def models(self) -> Dict[str, Any]:
+        return self._request("/v1/models")
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("/metrics")

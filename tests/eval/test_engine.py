@@ -130,6 +130,22 @@ class TestArtifactCache:
         np.testing.assert_array_equal(loaded["a"], arrays["a"])
         np.testing.assert_array_equal(loaded["b"], arrays["b"])
 
+    def test_export_copies_artifact_out(self, tmp_path):
+        """The export hook hands stored artefacts to downstream registries
+        (e.g. the serving ModelStore) as standalone files."""
+        cache = ArtifactCache(tmp_path / "cache")
+        arrays = {"a": np.arange(4.0)}
+        cache.put_arrays("batch", "ab" * 32, arrays)
+        exported = cache.export("batch", "ab" * 32, tmp_path / "out" / "artifact")
+        assert exported == tmp_path / "out" / "artifact.npz"
+        with np.load(exported) as archive:
+            np.testing.assert_array_equal(archive["a"], arrays["a"])
+        cache.put_pickle("thing", "cd" * 32, {"value": 1})
+        exported_pkl = cache.export("thing", "cd" * 32, tmp_path / "thing.pkl")
+        assert exported_pkl.suffix == ".pkl"
+        with pytest.raises(FileNotFoundError):
+            cache.export("batch", "ef" * 32, tmp_path / "missing")
+
     def test_disabled_cache_stores_nothing(self, tmp_path):
         cache = ArtifactCache(tmp_path, enabled=False)
         cache.put_pickle("thing", "ef" * 32, 1)

@@ -1,0 +1,107 @@
+"""Tests for the multi-tenant :class:`repro.serve.Gateway`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import LocalizationService
+from repro.serve import Gateway, ModelStore, StoreError
+from repro.serve.gateway import percentile
+
+
+@pytest.fixture()
+def store(tiny_campaign, tmp_path) -> ModelStore:
+    store = ModelStore(tmp_path / "store")
+    for k in (1, 3, 5):
+        service = LocalizationService("KNN", params={"k": k}).fit(tiny_campaign.train)
+        store.publish(service, f"knn{k}", tags=("prod",))
+    return store
+
+
+class TestRouting:
+    def test_localize_matches_direct_service(self, store, tiny_campaign):
+        gateway = Gateway(store)
+        test = tiny_campaign.test_for("S7")
+        via_gateway = gateway.localize("knn3@prod", test.features)
+        direct = store.resolve("knn3@prod").localize(test.features)
+        np.testing.assert_array_equal(via_gateway.labels, direct.labels)
+        np.testing.assert_array_equal(via_gateway.coordinates, direct.coordinates)
+
+    def test_explicit_routes(self, store, tiny_campaign):
+        gateway = Gateway(store, routes={"building-1/knn": "knn3@prod"})
+        test = tiny_campaign.test_for("S7")
+        routed = gateway.localize("building-1/knn", test.features)
+        direct = gateway.localize("knn3@prod", test.features)
+        np.testing.assert_array_equal(routed.labels, direct.labels)
+        assert gateway.resolve_endpoint("building-1/knn") == "knn3@prod"
+        assert gateway.resolve_endpoint("knn1") == "knn1"
+        assert "building-1/knn" in gateway.endpoints()
+        assert "knn1" in gateway.endpoints()
+
+    def test_unknown_endpoint_raises_without_leaking_stats(self, store):
+        """Unknown names must not grow /metrics: no EndpointStats entry."""
+        gateway = Gateway(store)
+        for bogus in ("ghost@prod", "x1", "x2"):
+            with pytest.raises(StoreError):
+                gateway.localize(bogus, np.zeros((1, 4)))
+        assert gateway.stats()["endpoints"] == {}
+
+    def test_request_failure_on_valid_endpoint_counts_error(self, store):
+        gateway = Gateway(store)
+        with pytest.raises(ValueError, match="APs"):
+            gateway.localize("knn3@prod", np.zeros((1, 3)))  # wrong width
+        assert gateway.stats()["endpoints"]["knn3@prod"]["errors"] == 1
+
+
+class TestLazyLoadingAndEviction:
+    def test_lazy_load_on_first_request(self, store, tiny_campaign):
+        gateway = Gateway(store)
+        assert gateway.loaded_refs() == []
+        gateway.localize("knn1", tiny_campaign.test_for("S7").features)
+        assert gateway.loaded_refs() == ["knn1"]
+        assert gateway.loads == 1
+        # Second request reuses the loaded service.
+        gateway.localize("knn1", tiny_campaign.test_for("S7").features)
+        assert gateway.loads == 1
+
+    def test_lru_eviction(self, store, tiny_campaign):
+        gateway = Gateway(store, max_loaded=2)
+        features = tiny_campaign.test_for("S7").features
+        gateway.localize("knn1", features)
+        gateway.localize("knn3", features)
+        gateway.localize("knn1", features)  # refresh knn1 -> knn3 becomes LRU
+        gateway.localize("knn5", features)  # evicts knn3
+        assert set(gateway.loaded_refs()) == {"knn1", "knn5"}
+        assert gateway.evictions == 1
+        # Evicted endpoints transparently reload.
+        gateway.localize("knn3", features)
+        assert gateway.loads == 4
+
+    def test_max_loaded_validated(self, store):
+        with pytest.raises(ValueError):
+            Gateway(store, max_loaded=0)
+
+
+class TestStats:
+    def test_request_counters_and_latency(self, store, tiny_campaign):
+        gateway = Gateway(store)
+        features = tiny_campaign.test_for("S7").features
+        for _ in range(3):
+            gateway.localize("knn3@prod", features)
+        stats = gateway.stats()
+        endpoint = stats["endpoints"]["knn3@prod"]
+        assert endpoint["requests"] == 3
+        assert endpoint["fingerprints"] == 3 * features.shape[0]
+        assert endpoint["errors"] == 0
+        assert endpoint["latency_ms"]["p50"] is not None
+        assert endpoint["latency_ms"]["p99"] >= endpoint["latency_ms"]["p50"]
+        assert stats["store"]["models"] == ["knn1", "knn3", "knn5"]
+
+    def test_percentile_helper(self):
+        assert percentile([], 50) is None
+        assert percentile([5.0], 99) == 5.0
+        samples = [float(v) for v in range(1, 101)]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 50) == pytest.approx(50.0, abs=1.0)
+        assert percentile(samples, 100) == 100.0

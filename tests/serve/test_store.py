@@ -1,0 +1,198 @@
+"""Tests for the versioned, content-addressed :class:`repro.serve.ModelStore`."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import LocalizationService
+from repro.registry import LOCALIZERS
+from repro.serve import ModelStore, StoreError
+from repro.serve.store import arrays_digest
+
+#: Cheap constructor params per registry name, for the sweep over every
+#: persistable localizer.  Anything not listed is built with defaults.
+CHEAP_PARAMS = {
+    "CALLOC": {
+        "embed_dim": 16,
+        "attention_dim": 8,
+        "num_lessons": 2,
+        "epochs_per_lesson": 2,
+        "seed": 0,
+    },
+    "DNN": {"hidden_dims": (16,), "epochs": 3, "seed": 0},
+    "CNN": {"channels": 4, "epochs": 3, "seed": 0},
+    "ANVIL": {"embed_dim": 16, "num_heads": 2, "epochs": 3, "seed": 0},
+    "AdvLoc": {"hidden_dims": (16,), "epochs": 3, "warmup_epochs": 1, "seed": 0},
+}
+
+
+def _persistable_localizers():
+    """Registry names whose localizer implements the state-array protocol."""
+    names = []
+    for name in LOCALIZERS.names():
+        instance = LOCALIZERS.create(name, **CHEAP_PARAMS.get(name, {}))
+        if callable(getattr(instance, "state_arrays", None)) and callable(
+            getattr(instance, "load_state_arrays", None)
+        ):
+            names.append(name)
+    return names
+
+
+class TestPersistenceRoundTrip:
+    """Satellite: save/load and publish/resolve for every persistable localizer."""
+
+    @pytest.mark.parametrize("name", _persistable_localizers())
+    def test_save_load_round_trip(self, name, tiny_campaign, tmp_path):
+        service = LocalizationService(name, params=CHEAP_PARAMS.get(name, {}))
+        service.fit(tiny_campaign.train)
+        test = tiny_campaign.test_for("S7")
+        expected = service.localize(test)
+        path = service.save(tmp_path / f"{name}.npz")
+        restored = LocalizationService.load(path)
+        assert restored.model_name == name
+        got = restored.localize(test)
+        np.testing.assert_array_equal(got.labels, expected.labels)
+        np.testing.assert_array_equal(got.coordinates, expected.coordinates)
+
+    @pytest.mark.parametrize("name", _persistable_localizers())
+    def test_publish_resolve_round_trip(self, name, tiny_campaign, tmp_path):
+        service = LocalizationService(name, params=CHEAP_PARAMS.get(name, {}))
+        service.fit(tiny_campaign.train)
+        test = tiny_campaign.test_for("BLU")
+        store = ModelStore(tmp_path / "store")
+        version = store.publish(service, name.lower(), tags=("prod",))
+        assert version.version == 1
+        assert version.tags == ("prod",)
+        restored = store.resolve(f"{name.lower()}@prod")
+        np.testing.assert_array_equal(
+            restored.localize(test).labels, service.localize(test).labels
+        )
+
+    def test_persistable_sweep_covers_expected_models(self):
+        names = _persistable_localizers()
+        assert {"KNN", "CALLOC", "DNN", "CNN", "ANVIL", "AdvLoc"} <= set(names)
+
+
+@pytest.fixture()
+def fitted_knn_service(tiny_campaign) -> LocalizationService:
+    return LocalizationService("KNN", params={"k": 3}).fit(tiny_campaign.train)
+
+
+class TestVersioning:
+    def test_publish_assigns_increasing_versions(self, fitted_knn_service, tiny_campaign, tmp_path):
+        store = ModelStore(tmp_path)
+        v1 = store.publish(fitted_knn_service, "knn")
+        other = LocalizationService("KNN", params={"k": 5}).fit(tiny_campaign.train)
+        v2 = store.publish(other, "knn")
+        assert (v1.version, v2.version) == (1, 2)
+        assert store.lookup("knn").version == 2  # bare name -> latest
+        assert store.lookup("knn@v1").digest == v1.digest
+        assert store.lookup("knn@1").digest == v1.digest
+        assert store.lookup("knn@latest").digest == v2.digest
+
+    def test_republish_identical_artifact_dedupes(self, fitted_knn_service, tmp_path):
+        store = ModelStore(tmp_path)
+        v1 = store.publish(fitted_knn_service, "knn")
+        again = store.publish(fitted_knn_service, "knn", tags=("prod",))
+        assert again.version == v1.version
+        assert len(store.versions("knn")) == 1
+        assert store.lookup("knn@prod").version == 1
+
+    def test_tags_move_with_publish_and_promote(self, fitted_knn_service, tiny_campaign, tmp_path):
+        store = ModelStore(tmp_path)
+        store.publish(fitted_knn_service, "knn", tags=("prod",))
+        other = LocalizationService("KNN", params={"k": 1}).fit(tiny_campaign.train)
+        store.publish(other, "knn", tags=("prod",))
+        assert store.lookup("knn@prod").version == 2
+        rolled = store.promote("knn@v1", "prod")
+        assert rolled.version == 1
+        assert store.lookup("knn@prod").version == 1
+
+    def test_republish_heals_missing_artifact(self, fitted_knn_service, tiny_campaign, tmp_path):
+        """Regression: the dedupe branch skipped the artifact-existence check,
+        so republishing could not repair a store whose artifact files were
+        lost while its manifests survived."""
+        store = ModelStore(tmp_path)
+        version = store.publish(fitted_knn_service, "knn")
+        artifact = store.artifacts.path_for("service", version.digest, "npz")
+        artifact.unlink()
+        healed = store.publish(fitted_knn_service, "knn")
+        assert healed.version == version.version  # still deduped, no new version
+        test = tiny_campaign.test_for("S7")
+        np.testing.assert_array_equal(
+            store.resolve("knn").localize(test).labels,
+            fitted_knn_service.localize(test).labels,
+        )
+
+    def test_content_addressing_shares_storage(self, fitted_knn_service, tmp_path):
+        store = ModelStore(tmp_path)
+        a = store.publish(fitted_knn_service, "knn-a")
+        b = store.publish(fitted_knn_service, "knn-b")
+        assert a.digest == b.digest
+        artifacts = list((store.root / "artifacts").rglob("*.npz"))
+        assert len(artifacts) == 1
+
+    def test_digest_is_content_sensitive(self, fitted_knn_service):
+        arrays = fitted_knn_service.state_arrays()
+        digest = arrays_digest(arrays)
+        assert digest == arrays_digest(dict(arrays))  # order-insensitive
+        mutated = dict(arrays)
+        mutated["service/rp_positions"] = mutated["service/rp_positions"] + 1.0
+        assert arrays_digest(mutated) != digest
+
+
+class TestErrorsAndInspection:
+    def test_unknown_model_raises(self, tmp_path):
+        store = ModelStore(tmp_path)
+        with pytest.raises(StoreError, match="unknown model"):
+            store.resolve("ghost")
+
+    def test_unknown_selector_raises(self, fitted_knn_service, tmp_path):
+        store = ModelStore(tmp_path)
+        store.publish(fitted_knn_service, "knn")
+        with pytest.raises(StoreError, match="unknown tag or version"):
+            store.lookup("knn@staging")
+        with pytest.raises(StoreError, match="no version"):
+            store.lookup("knn@v9")
+
+    def test_invalid_names_and_tags_rejected(self, fitted_knn_service, tmp_path):
+        store = ModelStore(tmp_path)
+        with pytest.raises(StoreError, match="invalid model name"):
+            store.publish(fitted_knn_service, "KNN Prod")
+        with pytest.raises(StoreError, match="numeric tags"):
+            store.publish(fitted_knn_service, "knn", tags=("v2",))
+
+    def test_unfitted_service_cannot_publish(self, tmp_path):
+        store = ModelStore(tmp_path)
+        with pytest.raises(RuntimeError, match="unfitted"):
+            store.publish(LocalizationService("KNN"), "knn")
+
+    def test_contains_list_inspect_catalog(self, fitted_knn_service, tmp_path):
+        store = ModelStore(tmp_path)
+        store.publish(fitted_knn_service, "knn", tags=("prod",))
+        assert "knn" in store
+        assert "knn@prod" in store
+        assert "ghost" not in store
+        assert store.list_models() == ["knn"]
+        inspected = store.inspect("knn@prod")
+        assert inspected["model"] == "KNN"
+        assert inspected["params"] == {"k": 3}
+        assert inspected["artifact_bytes"] > 0
+        json.dumps(inspected)  # JSON-ready
+        catalog = store.catalog()
+        assert catalog[0]["name"] == "knn"
+        assert catalog[0]["tags"] == ["prod"]
+        assert "KNN" in catalog[0]["summary"]
+
+    def test_export_round_trips_without_store(self, fitted_knn_service, tiny_campaign, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        store.publish(fitted_knn_service, "knn", tags=("prod",))
+        exported = store.export("knn@prod", tmp_path / "standalone.npz")
+        restored = LocalizationService.load(exported)
+        test = tiny_campaign.test_for("S7")
+        np.testing.assert_array_equal(
+            restored.localize(test).labels, fitted_knn_service.localize(test).labels
+        )

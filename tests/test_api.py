@@ -245,6 +245,59 @@ class TestLocalizationService:
         with pytest.raises(RuntimeError, match="fitted"):
             LocalizationService("KNN").localize(np.zeros((1, 4)))
 
+    def test_empty_batch(self, tiny_campaign):
+        service = LocalizationService("KNN").fit(tiny_campaign.train)
+        result = service.localize(np.empty((0, tiny_campaign.train.num_aps)))
+        assert len(result) == 0
+        assert result.labels.shape == (0,)
+        assert result.coordinates.shape == (0, 2)
+        assert result.error_estimate.shape == (0,)
+
+    def test_wrong_ap_count_raises_clear_error(self, tiny_campaign):
+        service = LocalizationService("KNN").fit(tiny_campaign.train)
+        with pytest.raises(ValueError, match="APs"):
+            service.localize(np.zeros((2, tiny_campaign.train.num_aps + 1)))
+
+    def test_partial_predict_proba_never_misaligns(self, tiny_campaign):
+        """Regression: a model returning proba for some chunks and None for
+        others must not silently misalign probabilities with labels."""
+        test = tiny_campaign.test_for("S7")
+        reference = LocalizationService("KNN", params={"k": 3}).fit(
+            tiny_campaign.train
+        )
+        expected_labels = reference.localize(test.features).labels
+
+        class FlakyProba:
+            """Wraps a fitted KNN; predict_proba answers only every other chunk."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self._calls = 0
+
+            def fit(self, dataset):
+                self._inner.fit(dataset)
+                return self
+
+            def predict(self, features):
+                return self._inner.predict(features)
+
+            def predict_proba(self, features):
+                self._calls += 1
+                if self._calls % 2 == 0:
+                    return None
+                return self._inner.predict_proba(features)
+
+        service = LocalizationService(
+            "KNN", params={"k": 3}, batch_size=3, _localizer=FlakyProba(reference.localizer)
+        )
+        service.fit(tiny_campaign.train)
+        result = service.localize(test.features)
+        # Labels stay correct and aligned; probabilities are dropped wholesale
+        # (None) instead of silently covering only the answered chunks.
+        np.testing.assert_array_equal(result.labels, expected_labels)
+        assert result.probabilities is None
+        assert np.isnan(result.error_estimate).all()
+
     def test_knn_save_load_identical_predictions(self, tiny_campaign, tmp_path):
         service = LocalizationService("KNN", params={"k": 3})
         service.fit(tiny_campaign.train)
@@ -290,6 +343,27 @@ class TestLocalizationService:
         service.fit(tiny_campaign.train)
         with pytest.raises(TypeError, match="persistence"):
             service.save("unused.npz")
+
+    def test_save_rejects_non_json_params_naming_the_key(self, tiny_campaign, tmp_path):
+        """Satellite: non-JSON params fail fast with the offending key, not
+        deep inside json.dumps."""
+        service = LocalizationService("KNN", params={"k": 3})
+        service.fit(tiny_campaign.train)
+        service.params["weights"] = np.arange(3)  # ndarray: not JSON-serializable
+        with pytest.raises(TypeError, match="'weights'"):
+            service.save(tmp_path / "bad.npz")
+        # No partial archive was written.
+        assert not (tmp_path / "bad.npz").exists()
+        del service.params["weights"]
+        assert service.save(tmp_path / "good.npz").exists()
+
+    def test_state_arrays_round_trip(self, tiny_campaign):
+        service = LocalizationService("KNN", params={"k": 3}).fit(tiny_campaign.train)
+        test = tiny_campaign.test_for("S7")
+        restored = LocalizationService.from_state_arrays(service.state_arrays())
+        np.testing.assert_array_equal(
+            restored.localize(test).labels, service.localize(test).labels
+        )
 
     def test_evaluate_returns_error_summary(self, tiny_campaign):
         service = LocalizationService("KNN").fit(tiny_campaign.train)

@@ -119,6 +119,89 @@ class TestRegistrySubcommands:
         assert "drift" in out
         assert "unseen-device" not in out
 
+    @pytest.mark.parametrize(
+        "command,kind,expected",
+        [
+            ("list-models", "model", "CALLOC"),
+            ("list-attacks", "attack", "FGSM"),
+            ("list-scenarios", "scenario", "drift"),
+        ],
+    )
+    def test_list_json_emits_shared_catalog_format(self, capsys, command, kind, expected):
+        assert main([command, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == kind
+        assert document["count"] == len(document["entries"]) > 0
+        names = [entry["name"] for entry in document["entries"]]
+        assert expected in names
+        for entry in document["entries"]:
+            assert {"name", "tags", "summary", "aliases"} <= set(entry)
+
+    def test_list_json_respects_tag_filter(self, capsys):
+        assert main(["list-models", "--json", "--tag", "framework"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in document["entries"]] == ["CALLOC"]
+
+
+class TestStoreSubcommand:
+    def _publish(self, store_dir, tiny_campaign, name="knn", tags=("prod",)):
+        from repro.api import LocalizationService
+        from repro.serve import ModelStore
+
+        service = LocalizationService("KNN", params={"k": 3}).fit(tiny_campaign.train)
+        return ModelStore(store_dir).publish(service, name, tags=tags)
+
+    def test_store_list_and_inspect(self, capsys, tmp_path, tiny_campaign):
+        self._publish(tmp_path, tiny_campaign)
+        assert main(["store", "--store", str(tmp_path), "list"]) == 0
+        out = capsys.readouterr().out
+        assert "knn" in out and "prod" in out
+        assert main(["store", "--store", str(tmp_path), "inspect", "knn@prod"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["ref"] == "knn@v1"
+        assert document["model"] == "KNN"
+
+    def test_store_list_json(self, capsys, tmp_path, tiny_campaign):
+        self._publish(tmp_path, tiny_campaign)
+        assert main(["store", "--store", str(tmp_path), "list", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "served-model"
+        assert document["entries"][0]["name"] == "knn"
+
+    def test_store_promote_and_export(self, capsys, tmp_path, tiny_campaign):
+        self._publish(tmp_path / "store", tiny_campaign)
+        assert main(
+            ["store", "--store", str(tmp_path / "store"), "promote", "knn@v1", "canary"]
+        ) == 0
+        assert "canary" in capsys.readouterr().out
+        destination = tmp_path / "exported.npz"
+        assert main(
+            [
+                "store", "--store", str(tmp_path / "store"),
+                "export", "knn@canary", str(destination),
+            ]
+        ) == 0
+        assert destination.exists()
+
+    def test_store_unknown_ref_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown model"):
+            main(["store", "--store", str(tmp_path), "inspect", "ghost"])
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8080
+        assert args.max_batch == 64
+        assert not args.no_batching
+
+    def test_serve_route_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--route", "b1/knn=knn@prod", "--route", "b2/knn=knn@v2"]
+        )
+        assert args.route == ["b1/knn=knn@prod", "b2/knn=knn@v2"]
+
 
 class TestRunSubcommand:
     SPEC = {
