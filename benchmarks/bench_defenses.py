@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Benchmark harness for the defense subsystem (``repro.defenses``).
+
+Two costs matter when a deployment turns hardening on:
+
+``training``
+    Offline: how much more expensive is defended training than a plain fit?
+    The harness trains one gradient-capable model undefended and under each
+    training-time defense (curriculum, PGD adversarial training, input
+    noise) on the quick-profile grid and reports wall-clock per variant plus
+    clean/attacked mean error, so the robustness-for-compute trade is one
+    JSON document.
+``guard``
+    Online: what does the adversarial-fingerprint detector cost per request?
+    The harness replays single-fingerprint requests through a served CALLOC
+    (the paper's production model) with and without the guard attached and
+    reports the per-request overhead.  Predictions must be bit-identical with
+    the guard in monitor mode, and the overhead is gated below
+    ``--max-guard-overhead`` (default 10 %).
+
+Results are written to ``BENCH_defenses.json`` (override with ``--output``)::
+
+    python benchmarks/bench_defenses.py
+    python benchmarks/bench_defenses.py --model CNN --requests 5000
+
+Exit status is non-zero when guarded predictions diverge or the guard
+overhead exceeds the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without installing
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.api import PROFILES, LocalizationService, default_model_params  # noqa: E402
+from repro.attacks import FGSMAttack, ThreatModel  # noqa: E402
+from repro.data.fingerprint import denormalize_rss  # noqa: E402
+from repro.defenses import DefenseSpec  # noqa: E402
+from repro.eval.engine import ArtifactCache, simulate_campaign  # noqa: E402
+from repro.registry import make_localizer  # noqa: E402
+
+#: Training-time defenses compared against the undefended baseline.
+TRAINING_DEFENSES = ("none", "curriculum", "pgd-adversarial", "input-noise")
+
+
+def _attacked(features: np.ndarray, labels: np.ndarray, victim) -> np.ndarray:
+    """A strong FGSM batch (ε = 0.3, ø = 50 %) for the robustness columns."""
+    attack = FGSMAttack(ThreatModel(epsilon=0.3, phi_percent=50.0, seed=11))
+    return attack.perturb(features, labels, victim)
+
+
+def bench_training(
+    model: str, building: str, profile: str
+) -> Dict[str, Dict[str, float]]:
+    """Train the model under every defense; report cost and clean/attacked error."""
+    config = PROFILES[profile]()
+    campaign, _ = simulate_campaign(building, config, None)
+    test = campaign.test_for(config.devices[0])
+    params = default_model_params(model, config)
+    variants: Dict[str, Dict[str, float]] = {}
+    for name in TRAINING_DEFENSES:
+        print(f"training {model} under '{name}' ...", flush=True)
+        instance = make_localizer(model, **params)
+        defense = DefenseSpec.create(name).build()
+        start = time.perf_counter()
+        defense.wrap_training(instance, campaign.train)
+        wall = time.perf_counter() - start
+        clean = instance.error_summary(test)
+        attacked = instance.error_summary(
+            test.with_rss(
+                denormalize_rss(_attacked(test.features, test.labels, instance))
+            )
+        )
+        variants[name] = {
+            "train_s": round(wall, 3),
+            "clean_mean_err_m": round(clean.mean, 4),
+            "attacked_mean_err_m": round(attacked.mean, 4),
+        }
+        print(
+            f"  {wall:.1f}s, clean {clean.mean:.2f}m, "
+            f"FGSM(0.3, 50%) {attacked.mean:.2f}m"
+        )
+    baseline = variants["none"]["train_s"]
+    for name, row in variants.items():
+        row["train_cost_factor"] = round(row["train_s"] / baseline, 3) if baseline else None
+    return variants
+
+
+def bench_guard(
+    building: str, profile: str, requests: int, guard_model: str = "CALLOC"
+) -> Dict[str, object]:
+    """Per-request guard overhead: guarded vs unguarded localize on one service."""
+    config = PROFILES[profile]()
+    campaign, _ = simulate_campaign(building, config, None)
+    test = campaign.test_for(config.devices[0])
+    queries = np.tile(
+        test.features, (requests // test.features.shape[0] + 1, 1)
+    )[:requests]
+
+    print(f"training served model {guard_model} ...", flush=True)
+    params = default_model_params(guard_model, config)
+    plain = LocalizationService(guard_model, params=params).fit(campaign.train)
+    guarded = LocalizationService(guard_model, params=params, _localizer=plain.localizer)
+    guarded._rp_positions = plain._rp_positions
+    guarded._num_aps = plain._num_aps
+    guarded.attach_guard(DefenseSpec.create("detector"), dataset=campaign.train)
+
+    def drive(service: LocalizationService) -> Dict[str, object]:
+        labels = np.empty(requests, dtype=np.int64)
+        start = time.perf_counter()
+        for index in range(requests):
+            labels[index] = service.localize(queries[index]).labels[0]
+        wall = time.perf_counter() - start
+        return {
+            "wall_s": round(wall, 4),
+            "per_request_us": round(wall / requests * 1e6, 2),
+            "labels": labels,
+        }
+
+    # Warm caches/allocators, then interleave repetitions and keep each
+    # mode's best pass: a ratio gate on two single back-to-back runs would
+    # flake on any background load landing in one of them.
+    for index in range(min(200, requests)):
+        plain.localize(queries[index])
+        guarded.localize(queries[index])
+    unguarded: Dict[str, object] = {}
+    with_guard: Dict[str, object] = {}
+    repeats = 3
+    print(
+        f"replaying {requests} single-fingerprint requests x {repeats} "
+        "interleaved passes (unguarded vs detector guard) ...",
+        flush=True,
+    )
+    for _ in range(repeats):
+        candidate = drive(plain)
+        if not unguarded or candidate["wall_s"] < unguarded["wall_s"]:
+            unguarded = candidate
+        candidate = drive(guarded)
+        if not with_guard or candidate["wall_s"] < with_guard["wall_s"]:
+            with_guard = candidate
+    print(f"  unguarded {unguarded['per_request_us']}us/request")
+    print(f"  guarded   {with_guard['per_request_us']}us/request")
+
+    identical = bool(np.array_equal(unguarded.pop("labels"), with_guard.pop("labels")))
+    overhead = (
+        with_guard["per_request_us"] / unguarded["per_request_us"] - 1.0  # type: ignore[operator]
+    )
+    flagged = guarded.localize(
+        _attacked(test.features, test.labels, _surrogate(campaign))
+    ).guard_flags
+    return {
+        "model": guard_model,
+        "requests": requests,
+        "unguarded": unguarded,
+        "guarded": with_guard,
+        "overhead_fraction": round(overhead, 4),
+        "identical_predictions": identical,
+        "attacked_flag_rate": round(float(flagged.mean()), 4),
+    }
+
+
+def _surrogate(campaign):
+    """A cheap gradient provider for crafting the guard's attacked batch."""
+    model = make_localizer("DNN", hidden_dims=(32,), epochs=10, seed=0)
+    model.fit(campaign.train)
+    return model
+
+
+def run_benchmark(
+    model: str,
+    building: str,
+    profile: str,
+    requests: int,
+    output: Optional[Path],
+    guard_model: str = "CALLOC",
+) -> Dict[str, object]:
+    report: Dict[str, object] = {
+        "benchmark": "defenses",
+        "version": __version__,
+        "created_unix": time.time(),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "profile": profile,
+        "model": model,
+        "building": building,
+        "training": bench_training(model, building, profile),
+        "guard": bench_guard(building, profile, requests, guard_model=guard_model),
+    }
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--model",
+        default="DNN",
+        help="gradient-capable model hardened by the training-time defenses",
+    )
+    parser.add_argument("--building", default="Building 1")
+    parser.add_argument("--profile", default="quick", choices=sorted(PROFILES))
+    parser.add_argument("--requests", type=int, default=2000,
+                        help="single-fingerprint requests for the guard overhead run")
+    parser.add_argument(
+        "--guard-model",
+        default="CALLOC",
+        help="model served behind the guard in the overhead run (CALLOC: the "
+        "framework the paper deploys)",
+    )
+    parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_defenses.json")
+    parser.add_argument(
+        "--max-guard-overhead", type=float, default=0.10,
+        help="fail when the detector guard adds more than this fraction of "
+        "per-request latency (0 disables the gate)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(
+        model=args.model,
+        building=args.building,
+        profile=args.profile,
+        requests=args.requests,
+        output=args.output,
+        guard_model=args.guard_model,
+    )
+    guard = report["guard"]
+    print(
+        f"guard overhead {guard['overhead_fraction'] * 100:.1f}% per request, "  # type: ignore[index]
+        f"attacked flag rate {guard['attacked_flag_rate'] * 100:.0f}%"  # type: ignore[index]
+    )
+    if not guard["identical_predictions"]:  # type: ignore[index]
+        print("FAIL: guarded predictions diverged from unguarded", file=sys.stderr)
+        return 1
+    if (
+        args.max_guard_overhead > 0
+        and guard["overhead_fraction"] > args.max_guard_overhead  # type: ignore[index]
+    ):
+        print(
+            f"FAIL: guard overhead {guard['overhead_fraction']:.3f} above "  # type: ignore[index]
+            f"gate {args.max_guard_overhead:.3f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

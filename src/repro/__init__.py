@@ -10,6 +10,11 @@ Localization.  The package provides:
   MITM wrappers;
 * :mod:`repro.core` — the CALLOC framework (curriculum adversarial learning
   with a scaled dot-product attention model);
+* :mod:`repro.defenses` — the pluggable defense subsystem: curriculum and
+  PGD adversarial training generalized to any gradient-capable localizer,
+  input-noise smoothing, and the statistical adversarial-fingerprint
+  detector served as an online guard (``@register_defense`` /
+  :func:`make_defense`, declarable via :class:`DefenseSpec`);
 * :mod:`repro.baselines` — the state-of-the-art localizers CALLOC is compared
   against (KNN, GPC, DNN, CNN, AdvLoc, ANVIL, SANGRIA, WiDeep, ...);
 * :mod:`repro.eval` — metrics, scenario grids and the experiment harness that
@@ -51,6 +56,7 @@ from .api import (
     run_experiment,
 )
 from .core import CALLOC
+from .defenses import Defense, DefenseSpec, GuardRejectedError
 from .eval import (
     ArtifactCache,
     ExecutionEngine,
@@ -66,18 +72,21 @@ from .interfaces import (
 )
 from .registry import (
     available_attacks,
+    available_defenses,
     available_localizers,
     available_scenarios,
     make_attack,
+    make_defense,
     make_localizer,
     make_scenario,
     register_attack,
+    register_defense,
     register_localizer,
     register_scenario,
 )
 from .serve import Gateway, MicroBatcher, ModelStore, ServiceClient
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CALLOC",
@@ -88,6 +97,9 @@ __all__ = [
     "ModelSpec",
     "ExperimentSpec",
     "ScenarioSpec",
+    "Defense",
+    "DefenseSpec",
+    "GuardRejectedError",
     "ExperimentRunner",
     "ExecutionEngine",
     "ArtifactCache",
@@ -102,11 +114,14 @@ __all__ = [
     "register_localizer",
     "register_attack",
     "register_scenario",
+    "register_defense",
     "make_localizer",
     "make_attack",
     "make_scenario",
+    "make_defense",
     "available_localizers",
     "available_attacks",
     "available_scenarios",
+    "available_defenses",
     "__version__",
 ]

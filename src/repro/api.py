@@ -37,12 +37,13 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from .data.fingerprint import FingerprintDataset
+from .defenses.base import Defense, DefenseSpec, GuardRejectedError
 from .eval.robustness import ScenarioSpec
 from .eval.runner import ExperimentRunner, ResultSet
 from .eval.scenarios import AttackScenario, EvaluationConfig
 from .interfaces import ErrorSummary, Localizer
 from .nn.serialization import load_state_dict, save_state_dict
-from .registry import LOCALIZERS, make_localizer
+from .registry import ATTACKS, LOCALIZERS, make_localizer
 
 __all__ = [
     "PROFILES",
@@ -163,6 +164,18 @@ class ExperimentSpec:
     be bare registry names, mappings, or :class:`ScenarioSpec` instances.
     Pass ``scenarios=()`` alongside it to evaluate robustness conditions
     without sweeping the crafted-attack grid.
+
+    ``defenses`` selects registered hardening strategies (see
+    :mod:`repro.defenses`): every model is trained and evaluated once per
+    entry, so the result set becomes a defense × attack × scenario matrix
+    (the ``"none"`` family is the undefended baseline row).  Entries may be
+    bare registry names, mappings, or :class:`~repro.defenses.DefenseSpec`
+    instances.
+
+    Every component name — model, attack method, robustness scenario and
+    defense — is validated against its registry at construction time, so a
+    typo fails here with a did-you-mean error instead of deep inside an
+    engine worker.
     """
 
     models: Tuple[ModelSpec, ...] = ()
@@ -174,6 +187,7 @@ class ExperimentSpec:
     epsilons: Optional[Tuple[float, ...]] = None
     phi_percents: Optional[Tuple[float, ...]] = None
     robustness: Optional[Tuple[ScenarioSpec, ...]] = None
+    defenses: Optional[Tuple[DefenseSpec, ...]] = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -194,15 +208,33 @@ class ExperimentSpec:
                 ),
             )
         if self.robustness is not None:
+            # ScenarioSpec.from_dict resolves each name against the scenario
+            # registry, so unknown families already fail here.
             object.__setattr__(
                 self,
                 "robustness",
                 tuple(ScenarioSpec.from_dict(s) for s in self.robustness),
             )
+        if self.defenses is not None:
+            # Likewise resolved against the defense registry on construction.
+            object.__setattr__(
+                self,
+                "defenses",
+                tuple(DefenseSpec.from_dict(d) for d in self.defenses),
+            )
         if self.profile not in PROFILES:
             raise ValueError(
                 f"unknown profile '{self.profile}'; expected one of {sorted(PROFILES)}"
             )
+        # Fail fast on unknown component names: a spec that constructs is a
+        # spec the engine can run.  RegistryError names the unknown key and
+        # suggests close spellings.
+        for model in self.models:
+            LOCALIZERS.resolve(model.name)
+        for method in self.attack_methods or ():
+            ATTACKS.resolve(method)
+        for scenario in self.scenarios or ():
+            ATTACKS.resolve(scenario.method)
 
     # -- resolution -----------------------------------------------------
     def config(self) -> EvaluationConfig:
@@ -230,23 +262,43 @@ class ExperimentSpec:
         Each task carries the resolved registry name plus the fully-merged
         constructor params (profile defaults overlaid with the spec's
         overrides) — everything the execution engine needs to build, train
-        and cache-key the model.
+        and cache-key the model.  When the spec declares ``defenses``, one
+        task is emitted per (model, defense) pair; the ``"none"`` family maps
+        to a defense-less task so its artefacts stay shared with plain
+        undefended runs.
         """
         from .eval.engine import ModelTask
 
         if not self.models:
             raise ValueError("experiment spec declares no models")
+        defenses: List[Optional[DefenseSpec]] = [None]
+        if self.defenses is not None:
+            if not self.defenses:
+                raise ValueError("experiment spec declares an empty defense list")
+            defenses = [
+                None if spec.name == "none" else spec for spec in self.defenses
+            ]
         tasks: List[ModelTask] = []
         seen = set()
         for model in self.models:
-            if model.display_name in seen:
-                raise ValueError(
-                    f"duplicate model label '{model.display_name}' in experiment spec"
+            for defense in defenses:
+                key = (
+                    model.display_name,
+                    defense.display_name if defense is not None else "none",
                 )
-            seen.add(model.display_name)
-            params = default_model_params(model.name, config)
-            params.update(model.params)
-            tasks.append(ModelTask.create(model.display_name, model.name, params))
+                if key in seen:
+                    raise ValueError(
+                        f"duplicate model label '{model.display_name}' "
+                        f"(defense '{key[1]}') in experiment spec"
+                    )
+                seen.add(key)
+                params = default_model_params(model.name, config)
+                params.update(model.params)
+                tasks.append(
+                    ModelTask.create(
+                        model.display_name, model.name, params, defense=defense
+                    )
+                )
         return tasks
 
     def resolve_scenarios(self, config: EvaluationConfig) -> List[AttackScenario]:
@@ -264,9 +316,15 @@ class ExperimentSpec:
         return list(self.robustness) if self.robustness is not None else []
 
     def validate(self) -> "ExperimentSpec":
-        """Fail fast on unknown model names; returns self for chaining."""
+        """Re-check component names against the registries; returns self.
+
+        Kept for API compatibility — every check already runs in
+        ``__post_init__``, so a constructed spec is always valid.
+        """
         for model in self.models:
             LOCALIZERS.resolve(model.name)
+        for method in self.attack_methods or ():
+            ATTACKS.resolve(method)
         return self
 
     # -- serialization --------------------------------------------------
@@ -294,6 +352,8 @@ class ExperimentSpec:
             ]
         if self.robustness is not None:
             data["robustness"] = [s.to_dict() for s in self.robustness]
+        if self.defenses is not None:
+            data["defenses"] = [d.to_dict() for d in self.defenses]
         return data
 
     @classmethod
@@ -308,6 +368,7 @@ class ExperimentSpec:
             "epsilons",
             "phi_percents",
             "robustness",
+            "defenses",
             "name",
         }
         unknown = set(data) - known
@@ -380,6 +441,9 @@ class LocalizationResult:
     error_estimate: np.ndarray
     #: Class probabilities, shape ``(n, num_classes)``, when available.
     probabilities: Optional[np.ndarray] = None
+    #: Per-query adversarial flags from the service's inference guard
+    #: (``None`` when no guard is attached), shape ``(n,)`` boolean.
+    guard_flags: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return int(self.labels.shape[0])
@@ -420,6 +484,12 @@ class LocalizationService:
         )
         self._rp_positions: Optional[np.ndarray] = None
         self._num_aps: Optional[int] = None
+        #: Defense provenance: the hardening strategy the model was trained
+        #: under ("none" for plain fits); recorded in ModelStore manifests.
+        self.defense_name: str = "none"
+        #: Optional fitted inference guard screening every localize batch.
+        self.guard: Optional[Defense] = None
+        self._guard_spec: Optional[DefenseSpec] = None
 
     # -- offline phase --------------------------------------------------
     @property
@@ -443,6 +513,7 @@ class LocalizationService:
         config: Optional[EvaluationConfig] = None,
         cache: object = True,
         batch_size: int = 512,
+        defense: Union[None, str, Mapping[str, Any], DefenseSpec] = None,
     ) -> "LocalizationService":
         """Fitted service for one paper building via the execution engine.
 
@@ -451,6 +522,12 @@ class LocalizationService:
         building that an experiment already visited is a pure cache load —
         no re-simulation, no re-training.  ``cache`` defaults to the shared
         on-disk cache (pass ``False`` to force a fresh fit).
+
+        ``defense`` hardens the service (see :mod:`repro.defenses`):
+        training-time defenses run inside the cached training unit, and
+        defenses with an inference guard (e.g. ``"detector"``) are calibrated
+        on the offline survey and attached, so the guard travels with the
+        service into saves, the model store and the serving gateway.
         """
         from .eval.engine import ArtifactCache, ModelTask, simulate_campaign, train_localizer
 
@@ -460,9 +537,12 @@ class LocalizationService:
                     f"unknown profile '{profile}'; expected one of {sorted(PROFILES)}"
                 )
             config = PROFILES[profile]()
+        defense_spec = DefenseSpec.from_dict(defense) if defense is not None else None
+        if defense_spec is not None and defense_spec.name == "none":
+            defense_spec = None
         merged = default_model_params(model, config)
         merged.update(params or {})
-        task = ModelTask.create(model, model, merged)
+        task = ModelTask.create(model, model, merged, defense=defense_spec)
         artifact_cache = ArtifactCache.coerce(cache)
         campaign, campaign_digest = simulate_campaign(building, config, artifact_cache)
         localizer, _ = train_localizer(task, campaign, campaign_digest, artifact_cache)
@@ -473,7 +553,57 @@ class LocalizationService:
             campaign.train.rp_positions, dtype=np.float64
         )
         service._num_aps = int(campaign.train.num_aps)
+        if defense_spec is not None:
+            service.defense_name = defense_spec.display_name
+            built = defense_spec.build()
+            if built.guards_inference:
+                # Guard calibration is deterministic in (campaign, spec), so
+                # warm cache loads rebuild the exact same guard.
+                built.fit_guard(campaign.train)
+                service.attach_guard(built, spec=defense_spec)
         return service
+
+    # -- inference guard -------------------------------------------------
+    def attach_guard(
+        self,
+        guard: Union[str, Mapping[str, Any], DefenseSpec, Defense],
+        dataset: Optional[FingerprintDataset] = None,
+        spec: Optional[DefenseSpec] = None,
+    ) -> "LocalizationService":
+        """Attach an inference guard screening every :meth:`localize` batch.
+
+        ``guard`` is a registered defense name / mapping / spec (built and
+        calibrated on ``dataset``), or an already-fitted
+        :class:`~repro.defenses.Defense` instance (``spec`` then records how
+        to rebuild it; defaults to :meth:`~repro.defenses.Defense.spec`,
+        which captures the instance's full configuration — including
+        security-relevant knobs like the detector's ``action``).  The guard
+        is persisted inside :meth:`state_arrays`, so saved archives and
+        published store artifacts restore it automatically.
+        """
+        if isinstance(guard, Defense):
+            defense = guard
+            guard_spec = spec or defense.spec()
+        else:
+            guard_spec = DefenseSpec.from_dict(guard)
+            defense = guard_spec.build()
+        if not defense.guards_inference:
+            raise TypeError(
+                f"defense '{defense.name}' has no inference guard "
+                "(guards_inference is False)"
+            )
+        if dataset is not None:
+            defense.fit_guard(dataset)
+        if not defense.guard_is_fitted:
+            raise RuntimeError(
+                f"guard '{defense.name}' is not fitted; pass a calibration "
+                "dataset to attach_guard"
+            )
+        self.guard = defense
+        self._guard_spec = guard_spec
+        if self.defense_name == "none":
+            self.defense_name = guard_spec.display_name
+        return self
 
     # -- online phase ---------------------------------------------------
     def localize(
@@ -502,6 +632,20 @@ class LocalizationService:
                 f"fingerprints have {features.shape[1]} APs but "
                 f"'{self.model_name}' was fitted on {self._num_aps}"
             )
+        guard_flags: Optional[np.ndarray] = None
+        if self.guard is not None:
+            if features.shape[0] == 0:
+                # Empty batches are valid requests (and carry no AP width to
+                # screen); never hand them to the guard's scorer.
+                guard_flags = np.zeros(0, dtype=bool)
+            else:
+                report = self.guard.guard(features)
+                features = np.asarray(report.features, dtype=np.float64)
+                guard_flags = np.asarray(report.flagged, dtype=bool)
+                if self.guard.rejects and guard_flags.any():
+                    raise GuardRejectedError(
+                        self.guard.name, np.flatnonzero(guard_flags)
+                    )
         predict_proba = getattr(self.localizer, "predict_proba", None)
         if not callable(predict_proba):
             predict_proba = None
@@ -543,6 +687,7 @@ class LocalizationService:
             coordinates=coordinates,
             error_estimate=error_estimate,
             probabilities=probabilities,
+            guard_flags=guard_flags,
         )
 
     def evaluate(self, dataset: FingerprintDataset) -> ErrorSummary:
@@ -596,12 +741,22 @@ class LocalizationService:
             "params": self._validated_params(),
             "batch_size": self.batch_size,
             "num_aps": self._num_aps,
+            "defense": self.defense_name,
         }
+        if self.guard is not None and self._guard_spec is not None:
+            meta["guard"] = self._guard_spec.to_dict()
         arrays: Dict[str, np.ndarray] = {"service/meta": np.array(json.dumps(meta))}
         arrays["service/rp_positions"] = self._rp_positions
         arrays.update(
             {f"model/{name}": value for name, value in self.localizer.state_arrays().items()}
         )
+        if self.guard is not None:
+            arrays.update(
+                {
+                    f"guard/{name}": value
+                    for name, value in self.guard.guard_state_arrays().items()
+                }
+            )
         return arrays
 
     @classmethod
@@ -625,6 +780,22 @@ class LocalizationService:
         )
         num_aps = meta.get("num_aps")  # absent in pre-1.3 archives
         service._num_aps = int(num_aps) if num_aps is not None else None
+        # Defense provenance and guard state (absent in pre-1.4 archives).
+        service.defense_name = meta.get("defense", "none")
+        guard_meta = meta.get("guard")
+        if guard_meta is not None:
+            guard_spec = DefenseSpec.from_dict(guard_meta)
+            guard = guard_spec.build()
+            prefix = "guard/"
+            guard.load_guard_state(
+                {
+                    name[len(prefix):]: value
+                    for name, value in arrays.items()
+                    if name.startswith(prefix)
+                }
+            )
+            service.guard = guard
+            service._guard_spec = guard_spec
         return service
 
     def save(self, path: PathLike) -> Path:

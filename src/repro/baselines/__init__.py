@@ -6,6 +6,7 @@ WiDeep), plus the substrates they need (gradient-boosted trees and
 autoencoders).  :func:`make_baseline` builds any of them by name.
 """
 
+import warnings
 from typing import Callable, Dict
 
 from ..interfaces import DifferentiableLocalizer, Localizer
@@ -67,5 +68,11 @@ def make_baseline(name: str, **kwargs) -> Localizer:
     Kept so existing call sites (``make_baseline("KNN", k=3)``) continue to
     work; lookups are now case-insensitive and unknown names raise
     :class:`~repro.registry.RegistryError` (a :class:`KeyError`), as before.
+    Emits :class:`DeprecationWarning` — build models through the registry.
     """
+    warnings.warn(
+        "make_baseline is deprecated; use repro.registry.make_localizer",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return make_localizer(name, **kwargs)

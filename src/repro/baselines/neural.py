@@ -114,6 +114,24 @@ class NeuralNetworkLocalizer(DifferentiableLocalizer):
         self.network.eval()
         return history
 
+    def continue_training(self, features: np.ndarray, labels: np.ndarray) -> List[float]:
+        """Run further training epochs on already-fitted weights.
+
+        The hook the training-time defenses (curriculum / PGD adversarial
+        training, see :mod:`repro.defenses`) use to interleave hardened
+        training phases: the network is kept, a fresh optimizer runs
+        ``self.epochs`` more epochs on the given arrays, and the per-epoch
+        losses are appended to :attr:`loss_history`.
+        """
+        if self.network is None:
+            raise RuntimeError(f"{self.name} must be fitted before continued training")
+        history = self._train(
+            np.asarray(features, dtype=np.float64),
+            np.asarray(labels, dtype=np.int64),
+        )
+        self.loss_history.extend(history)
+        return history
+
     def predict(self, features: np.ndarray) -> np.ndarray:
         if self.network is None:
             raise RuntimeError(f"{self.name} must be fitted before prediction")

@@ -1,174 +1,18 @@
-"""Curriculum construction for adversarial training (Sec. IV.A).
+"""Curriculum construction for adversarial training (Sec. IV.A) — shim.
 
-The curriculum is a sequence of 10 lessons of increasing difficulty:
-
-* lesson 1 is the baseline — 0 % attacked APs (ø = 0) and 100 % original
-  (clean) fingerprints;
-* lessons 2–10 progressively raise the fraction of attacked APs from ø = 10
-  to ø = 100 while the share of untouched original data shrinks;
-* throughout the curriculum the attack strength is kept at a small, fixed
-  ε = 0.1 and the adversarial samples are crafted with FGSM only — resilience
-  to stronger ε and to PGD/MIM at test time is an emergent property the
-  evaluation (Figs. 4–5) checks.
-
-:class:`Curriculum` only *describes* the lessons; :class:`LessonBuilder`
-materialises a lesson into training data by attacking the clean fingerprints
-with the model's own gradients (white-box self-attack).
+The curriculum machinery (:class:`Lesson`, :class:`Curriculum`,
+:class:`LessonBuilder`) used to live here, welded to the CALLOC trainer.  It
+now belongs to the pluggable defense subsystem —
+:mod:`repro.defenses.curriculum` — where
+:class:`~repro.defenses.curriculum.CurriculumAdversarialDefense` applies the
+same lesson sequence to *any* gradient-capable localizer.  This module
+re-exports the classes unchanged so every existing import path
+(``from repro.core.curriculum import Curriculum``) and CALLOC's own training
+loop keep working bit-identically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Iterator, List, Optional, Sequence, Tuple
-
-import numpy as np
-
-from ..attacks.base import GradientProvider, ThreatModel
-from ..attacks.fgsm import FGSMAttack
+from ..defenses.curriculum import Curriculum, Lesson, LessonBuilder
 
 __all__ = ["Lesson", "Curriculum", "LessonBuilder"]
-
-
-@dataclass(frozen=True)
-class Lesson:
-    """One curriculum lesson.
-
-    Attributes
-    ----------
-    index:
-        1-based lesson number.
-    phi_percent:
-        Percentage of access points attacked in this lesson's adversarial data.
-    epsilon:
-        Perturbation magnitude used to craft the lesson (fixed to 0.1).
-    original_fraction:
-        Fraction of the lesson batch that stays clean (the rest is attacked).
-    """
-
-    index: int
-    phi_percent: float
-    epsilon: float
-    original_fraction: float
-
-    def with_phi(self, phi_percent: float) -> "Lesson":
-        """Return a copy of the lesson with an adjusted ø (adaptive back-off)."""
-        return replace(self, phi_percent=float(np.clip(phi_percent, 0.0, 100.0)))
-
-    @property
-    def is_baseline(self) -> bool:
-        """True for the clean (ø = 0) lesson."""
-        return self.phi_percent == 0.0 or self.original_fraction >= 1.0
-
-    def describe(self) -> str:
-        """Short human-readable description used in training logs."""
-        return (
-            f"lesson {self.index}: phi={self.phi_percent:.0f}%, eps={self.epsilon}, "
-            f"original={self.original_fraction * 100:.0f}%"
-        )
-
-
-class Curriculum:
-    """The ordered list of lessons the model is trained through."""
-
-    def __init__(
-        self,
-        num_lessons: int = 10,
-        epsilon: float = 0.1,
-        max_phi: float = 100.0,
-        start_phi: float = 10.0,
-        min_original_fraction: float = 0.5,
-    ) -> None:
-        if num_lessons < 2:
-            raise ValueError("a curriculum needs at least a baseline and one attack lesson")
-        if not 0.0 < start_phi <= max_phi <= 100.0:
-            raise ValueError("phi range must satisfy 0 < start_phi <= max_phi <= 100")
-        if not 0.0 <= min_original_fraction <= 1.0:
-            raise ValueError("min_original_fraction must be in [0, 1]")
-        self.num_lessons = num_lessons
-        self.epsilon = epsilon
-        self.max_phi = max_phi
-        self.start_phi = start_phi
-        self.min_original_fraction = min_original_fraction
-        self._lessons = self._build()
-
-    def _build(self) -> List[Lesson]:
-        lessons = [Lesson(index=1, phi_percent=0.0, epsilon=self.epsilon, original_fraction=1.0)]
-        attack_lessons = self.num_lessons - 1
-        phis = np.linspace(self.start_phi, self.max_phi, attack_lessons)
-        start_fraction = max(0.8, self.min_original_fraction)
-        fractions = np.linspace(start_fraction, self.min_original_fraction, attack_lessons)
-        for offset, (phi, fraction) in enumerate(zip(phis, fractions), start=2):
-            lessons.append(
-                Lesson(
-                    index=offset,
-                    phi_percent=float(phi),
-                    epsilon=self.epsilon,
-                    original_fraction=float(fraction),
-                )
-            )
-        return lessons
-
-    # ------------------------------------------------------------------
-    @property
-    def lessons(self) -> List[Lesson]:
-        """The lessons in training order."""
-        return list(self._lessons)
-
-    def __len__(self) -> int:
-        return len(self._lessons)
-
-    def __iter__(self) -> Iterator[Lesson]:
-        return iter(self._lessons)
-
-    def __getitem__(self, index: int) -> Lesson:
-        return self._lessons[index]
-
-    def describe(self) -> str:
-        """Multi-line description of the full curriculum."""
-        return "\n".join(lesson.describe() for lesson in self._lessons)
-
-
-class LessonBuilder:
-    """Materialises a lesson into (possibly adversarial) training data.
-
-    The adversarial share of a lesson is crafted with FGSM against the current
-    model (white-box self-attack), using the lesson's ε and ø.  A fresh subset
-    of APs is drawn per lesson realisation, so over the curriculum the model
-    sees many different compromised-AP patterns.
-    """
-
-    def __init__(self, seed: int = 0) -> None:
-        self.seed = seed
-        self._realisation = 0
-
-    def build(
-        self,
-        lesson: Lesson,
-        features: np.ndarray,
-        labels: np.ndarray,
-        model: GradientProvider,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Return the lesson's training ``(features, labels)`` arrays."""
-        features = np.asarray(features, dtype=np.float64)
-        labels = np.asarray(labels, dtype=np.int64)
-        self._realisation += 1
-        if lesson.is_baseline:
-            return features.copy(), labels.copy()
-
-        rng = np.random.default_rng(self.seed + self._realisation)
-        num_samples = features.shape[0]
-        num_adversarial = int(round((1.0 - lesson.original_fraction) * num_samples))
-        num_adversarial = int(np.clip(num_adversarial, 1, num_samples))
-        adversarial_rows = rng.choice(num_samples, size=num_adversarial, replace=False)
-
-        threat = ThreatModel(
-            epsilon=lesson.epsilon,
-            phi_percent=lesson.phi_percent,
-            seed=self.seed + 1000 * lesson.index + self._realisation,
-        )
-        attack = FGSMAttack(threat)
-        adversarial = attack.perturb(features[adversarial_rows], labels[adversarial_rows], model)
-
-        lesson_features = features.copy()
-        lesson_features[adversarial_rows] = adversarial
-        return lesson_features, labels.copy()

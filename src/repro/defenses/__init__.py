@@ -1,0 +1,63 @@
+"""``repro.defenses`` — pluggable hardening strategies, the fourth registry axis.
+
+Completes the experiment matrix (model × attack × scenario × **defense**) and
+gives the serving layer inference-time protection:
+
+* :mod:`repro.defenses.base` — the :class:`Defense` interface
+  (training-time :meth:`~Defense.wrap_training`, inference-time
+  :meth:`~Defense.guard`), the declarative :class:`DefenseSpec`, and the
+  ``none`` baseline;
+* :mod:`repro.defenses.curriculum` — the paper's curriculum adversarial
+  training, extracted from CALLOC and generalized to any gradient-capable
+  localizer (plus the :class:`Curriculum`/:class:`LessonBuilder` machinery it
+  is built on);
+* :mod:`repro.defenses.adversarial` — standard one-shot PGD adversarial
+  training;
+* :mod:`repro.defenses.smoothing` — randomized-smoothing-style input-noise
+  augmentation (model-agnostic);
+* :mod:`repro.defenses.detector` — the statistical adversarial-fingerprint
+  detector served as a per-endpoint gateway guard.
+
+Declarative use::
+
+    from repro import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec(
+        models=("DNN",), defenses=("none", "curriculum"), profile="quick"
+    )
+    results = run_experiment(spec)          # defense column in every record
+    hardened = results.filter(defense="curriculum")
+"""
+
+from .adversarial import PGDAdversarialTrainingDefense
+from .base import (
+    Defense,
+    DefenseError,
+    DefenseSpec,
+    GuardRejectedError,
+    GuardReport,
+    NoDefense,
+)
+from .curriculum import Curriculum, CurriculumAdversarialDefense, Lesson, LessonBuilder
+from .detector import FingerprintDetectorDefense
+from .smoothing import InputNoiseDefense
+
+#: The defense families of the default defense matrix, in display order.
+DEFAULT_DEFENSES = ("none", "curriculum", "pgd-adversarial", "input-noise")
+
+__all__ = [
+    "Defense",
+    "DefenseError",
+    "DefenseSpec",
+    "GuardReport",
+    "GuardRejectedError",
+    "NoDefense",
+    "Curriculum",
+    "Lesson",
+    "LessonBuilder",
+    "CurriculumAdversarialDefense",
+    "PGDAdversarialTrainingDefense",
+    "InputNoiseDefense",
+    "FingerprintDetectorDefense",
+    "DEFAULT_DEFENSES",
+]

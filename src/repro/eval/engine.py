@@ -92,6 +92,7 @@ from ..attacks.surrogate import SurrogateGradientModel
 from ..data.campaign import CampaignConfig, LocalizationCampaign, collect_campaign
 from ..data.fingerprint import FingerprintDataset
 from ..data.floorplan import paper_building
+from ..defenses.base import DefenseSpec
 from ..interfaces import Localizer
 from ..nn.serialization import load_state_dict, save_state_dict
 from ..registry import LOCALIZERS, make_attack, make_localizer
@@ -370,24 +371,46 @@ class ModelTask:
 
     ``label`` is the display name used in result records (it may differ from
     ``name`` when one registry entry appears twice under different settings,
-    e.g. CALLOC vs its no-curriculum ablation).
+    e.g. CALLOC vs its no-curriculum ablation).  ``defense`` selects the
+    hardening strategy the training unit applies
+    (:meth:`~repro.defenses.Defense.wrap_training` instead of a plain
+    ``fit``); ``None`` is the undefended path, whose cache artefacts are
+    shared with defense-less runs bit for bit.
     """
 
     label: str
     name: str
     params: Tuple[Tuple[str, Any], ...] = ()
+    defense: Optional[DefenseSpec] = None
 
     @classmethod
-    def create(cls, label: str, name: str, params: Mapping[str, Any]) -> "ModelTask":
+    def create(
+        cls,
+        label: str,
+        name: str,
+        params: Mapping[str, Any],
+        defense: Union[None, str, Mapping[str, Any], DefenseSpec] = None,
+    ) -> "ModelTask":
         return cls(
             label=label,
             name=LOCALIZERS.resolve(name),
             params=tuple(sorted(params.items())),
+            defense=DefenseSpec.from_dict(defense) if defense is not None else None,
         )
 
     @property
     def param_dict(self) -> Dict[str, Any]:
         return dict(self.params)
+
+    @property
+    def defense_label(self) -> str:
+        """The defense name recorded in result rows (``"none"`` when undefended)."""
+        return self.defense.display_name if self.defense is not None else "none"
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Identity of this task within a plan: (model label, defense label)."""
+        return (self.label, self.defense_label)
 
     def build(self) -> Localizer:
         """Instantiate a fresh, untrained localizer for this task."""
@@ -471,11 +494,11 @@ def build_plan(
     """Decompose an experiment grid into its work-unit DAG."""
     if not tasks:
         raise ValueError("execution plan needs at least one model task")
-    labels = [task.label for task in tasks]
-    duplicates = sorted({label for label in labels if labels.count(label) > 1})
+    keys = [task.key for task in tasks]
+    duplicates = sorted({key for key in keys if keys.count(key) > 1})
     if duplicates:
-        # Labels key the result-stitching maps; duplicates would silently
-        # score every duplicate against the last-trained model.
+        # (label, defense) keys the result-stitching maps; duplicates would
+        # silently score every duplicate against the last-trained model.
         raise ValueError(f"duplicate model task labels {duplicates}")
     displays = [spec.display_name for spec in robustness]
     duplicate_specs = sorted({d for d in displays if displays.count(d) > 1})
@@ -545,11 +568,18 @@ def simulate_campaign(
 
 
 def _model_payload(task: ModelTask, campaign_digest: str) -> Dict[str, Any]:
-    return {
+    payload = {
         "model": task.name,
         "params": task.param_dict,
         "campaign": campaign_digest,
     }
+    # Only defenses that actually change training extend the payload:
+    # undefended digests stay unchanged, and inference-only defenses (the
+    # detector) keep sharing the plain model's artefact instead of forcing a
+    # bit-identical retrain under a different key.
+    if task.defense is not None and task.defense.hardens_training:
+        payload["defense"] = task.defense
+    return payload
 
 
 def _supports_state_arrays(model: Localizer) -> bool:
@@ -578,6 +608,13 @@ def train_localizer(
     is given, ``variant`` must carry a canonicalisable description that
     uniquely determines the substitute split, so the scenario-specific model
     can never alias the standard one in the cache.
+
+    Tasks carrying a :class:`~repro.defenses.DefenseSpec` are trained through
+    the defense's :meth:`~repro.defenses.Defense.wrap_training` hook instead
+    of a plain ``fit``; the spec is part of the cache key, so a hardened
+    model can never alias its undefended sibling.  All defense randomness is
+    derived from the spec's seed, keeping defended units bit-identical across
+    job counts and cache states.
     """
     if (train_dataset is None) != (variant is None):
         raise ValueError("train_dataset and variant must be given together")
@@ -595,7 +632,13 @@ def train_localizer(
                 return model, digest
             return payload, digest
     model = task.build()
-    model.fit(campaign.train if train_dataset is None else train_dataset)
+    train = campaign.train if train_dataset is None else train_dataset
+    if task.defense is not None and task.defense.hardens_training:
+        model = task.defense.build().wrap_training(model, train)
+    else:
+        # Undefended, or an inference-only defense whose wrap_training is a
+        # plain fit — matching the digest sharing in _model_payload.
+        model.fit(train)
     if cache is not None:
         if _supports_state_arrays(model):
             cache.put_arrays("model", digest, model.state_arrays())
@@ -983,6 +1026,7 @@ class ExecutionEngine:
                         device=unit.device,
                         scenario=scenario,
                         stats=stats,
+                        defense=unit.task.defense_label,
                     )
                 )
         for index, unit in enumerate(plan.scenario_units):
@@ -995,6 +1039,7 @@ class ExecutionEngine:
                     scenario=attack_point,
                     stats=stats,
                     condition=unit.spec.display_name,
+                    defense=unit.task.defense_label,
                 )
             )
         return results
@@ -1021,14 +1066,14 @@ class ExecutionEngine:
         models: Dict[Tuple[str, str], Tuple[Localizer, str]] = {}
         for train_unit in plan.train_units:
             campaign, campaign_digest = campaigns[train_unit.building]
-            models[(train_unit.task.label, train_unit.building)] = train_localizer(
+            models[(train_unit.task.key, train_unit.building)] = train_localizer(
                 train_unit.task, campaign, campaign_digest, self.cache
             )
         surrogates: Dict[str, SurrogateGradientModel] = {}
         stats_by_unit: Dict[int, List[ErrorStats]] = {}
         for index, eval_unit in enumerate(plan.eval_units):
             campaign, _ = campaigns[eval_unit.building]
-            model, model_digest = models[(eval_unit.task.label, eval_unit.building)]
+            model, model_digest = models[(eval_unit.task.key, eval_unit.building)]
             stats_by_unit[index] = evaluate_unit(
                 eval_unit,
                 model,
@@ -1043,7 +1088,7 @@ class ExecutionEngine:
             campaign, campaign_digest = campaigns[scenario_unit.building]
             if scenario_unit.spec.build().trains_standard_model:
                 model, model_digest = models[
-                    (scenario_unit.task.label, scenario_unit.building)
+                    (scenario_unit.task.key, scenario_unit.building)
                 ]
             else:
                 model, model_digest = None, None
@@ -1086,7 +1131,7 @@ class ExecutionEngine:
             trains_by_building.setdefault(train_unit.building, []).append(train_index)
         evals_by_train: Dict[Tuple[str, str], List[int]] = {}
         for eval_index, eval_unit in enumerate(plan.eval_units):
-            key = (eval_unit.task.label, eval_unit.building)
+            key = (eval_unit.task.key, eval_unit.building)
             evals_by_train.setdefault(key, []).append(eval_index)
         scenarios_by_train: Dict[Tuple[str, str], List[int]] = {}
         scenarios_by_campaign: Dict[str, List[int]] = {}
@@ -1098,7 +1143,7 @@ class ExecutionEngine:
             if spec.name not in trains_standard:
                 trains_standard[spec.name] = spec.build().trains_standard_model
             if trains_standard[spec.name]:
-                key = (scenario_unit.task.label, scenario_unit.building)
+                key = (scenario_unit.task.key, scenario_unit.building)
                 scenarios_by_train.setdefault(key, []).append(scenario_index)
             else:
                 scenarios_by_campaign.setdefault(
@@ -1165,7 +1210,7 @@ class ExecutionEngine:
                     elif kind == "train":
                         model, model_digest = outcome
                         _, campaign_digest = campaigns[unit.building]
-                        key = (unit.task.label, unit.building)
+                        key = (unit.task.key, unit.building)
                         for eval_index in evals_by_train.get(key, ()):
                             eval_unit = plan.eval_units[eval_index]
                             eval_future = executor.submit(

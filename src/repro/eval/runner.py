@@ -51,7 +51,10 @@ class EvaluationRecord:
 
     ``condition`` names the robustness scenario the cell was evaluated under
     (``"standard"`` for the plain attack grid; e.g. ``"drift"`` or
-    ``"ap-outage"`` for cells produced by scenario work units).
+    ``"ap-outage"`` for cells produced by scenario work units).  ``defense``
+    names the hardening strategy the model was trained under (``"none"`` for
+    the undefended path), making every result set a defense × attack ×
+    scenario matrix.
     """
 
     model: str
@@ -60,6 +63,7 @@ class EvaluationRecord:
     scenario: AttackScenario
     stats: ErrorStats
     condition: str = "standard"
+    defense: str = "none"
 
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary (for CSV export and report tables).
@@ -75,6 +79,7 @@ class EvaluationRecord:
             "building": self.building,
             "device": self.device,
             "scenario": self.condition,
+            "defense": self.defense,
             "attack": "clean" if clean else self.scenario.method,
             "epsilon": 0.0 if clean else self.scenario.epsilon,
             "phi": 0.0 if clean else self.scenario.phi_percent,
@@ -99,7 +104,7 @@ class ResultSet:
         return len(self.records)
 
     def filter(self, **criteria) -> "ResultSet":
-        """Filter records by model / building / device / attack / epsilon / phi.
+        """Filter by model / building / device / scenario / defense / attack / epsilon / phi.
 
         Float-valued criteria (``epsilon``/``phi``) are compared with
         :func:`math.isclose`, so grid values that went through JSON or

@@ -33,6 +33,14 @@ register through :func:`register_scenario` / :func:`make_scenario` and become
 declarable in :class:`repro.api.ExperimentSpec` and runnable via
 ``repro run --scenario``.
 
+Defenses — hardening strategies with training-time and/or inference-time
+hooks (curriculum adversarial training, PGD adversarial training, input-noise
+smoothing, the online adversarial-fingerprint detector — see
+:mod:`repro.defenses`) — register through :func:`register_defense` /
+:func:`make_defense` and are declarable via
+:class:`repro.defenses.DefenseSpec` in experiment specs
+(``repro run --defense curriculum``) and as serving guards.
+
 Lookups are case-insensitive (``make_localizer("knn")`` works) and unknown
 names raise :class:`RegistryError` (a :class:`KeyError`) naming the closest
 registered spellings.  The registries populate themselves lazily: the first
@@ -56,15 +64,19 @@ __all__ = [
     "LOCALIZERS",
     "ATTACKS",
     "SCENARIOS",
+    "DEFENSES",
     "register_localizer",
     "register_attack",
     "register_scenario",
+    "register_defense",
     "make_localizer",
     "make_attack",
     "make_scenario",
+    "make_defense",
     "available_localizers",
     "available_attacks",
     "available_scenarios",
+    "available_defenses",
 ]
 
 
@@ -261,6 +273,11 @@ ATTACKS = Registry("attack", lazy_modules=("repro.attacks",))
 #: grid (environment drift, infrastructure failures, generalization splits).
 SCENARIOS = Registry("scenario", lazy_modules=("repro.eval.robustness",))
 
+#: All defenses: training-time hardening strategies (curriculum/PGD
+#: adversarial training, noise smoothing) and inference-time guards (the
+#: adversarial-fingerprint detector), plus the undefended baseline.
+DEFENSES = Registry("defense", lazy_modules=("repro.defenses",))
+
 
 def register_localizer(
     name: str,
@@ -302,6 +319,20 @@ def register_scenario(
     )
 
 
+def register_defense(
+    name: str,
+    factory: Optional[Callable[..., Any]] = None,
+    *,
+    tags: Iterable[str] = (),
+    aliases: Iterable[str] = (),
+    override: bool = False,
+):
+    """Register a defense class/factory under ``name`` (decorator-friendly)."""
+    return DEFENSES.register(
+        name, factory, tags=tags, aliases=aliases, override=override
+    )
+
+
 def make_localizer(name: str, **kwargs) -> Any:
     """Instantiate a registered localizer by name (``make_localizer("KNN", k=3)``)."""
     return LOCALIZERS.create(name, **kwargs)
@@ -317,6 +348,11 @@ def make_scenario(name: str, **kwargs) -> Any:
     return SCENARIOS.create(name, **kwargs)
 
 
+def make_defense(name: str, **kwargs) -> Any:
+    """Instantiate a registered defense by name (``make_defense("detector")``)."""
+    return DEFENSES.create(name, **kwargs)
+
+
 def available_localizers(tag: Optional[str] = None) -> List[str]:
     """Names of every registered localizer (optionally one tag)."""
     return LOCALIZERS.names(tag)
@@ -330,3 +366,8 @@ def available_attacks(tag: Optional[str] = None) -> List[str]:
 def available_scenarios(tag: Optional[str] = None) -> List[str]:
     """Names of every registered robustness scenario (optionally one tag)."""
     return SCENARIOS.names(tag)
+
+
+def available_defenses(tag: Optional[str] = None) -> List[str]:
+    """Names of every registered defense (optionally one tag)."""
+    return DEFENSES.names(tag)

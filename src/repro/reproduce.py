@@ -9,7 +9,11 @@ Subcommands
 ``list-scenarios``
     Enumerate every registered robustness scenario family (drift, AP outage,
     rogue APs, unseen-device generalization, adaptive black-box, ...).
-    All three ``list-*`` commands accept ``--json`` for the machine-readable
+``list-defenses``
+    Enumerate every registered defense (curriculum / PGD adversarial
+    training, input-noise smoothing, the adversarial-fingerprint detector,
+    and the undefended baseline).
+    All four ``list-*`` commands accept ``--json`` for the machine-readable
     catalog format shared with the serving gateway's ``GET /v1/models``.
 ``store``
     Manage the versioned model store: ``publish`` (train via the cached
@@ -46,6 +50,10 @@ Run a declarative experiment::
 Evaluate robustness scenarios instead of the crafted-attack grid::
 
     python -m repro run --models KNN DNN --scenario drift ap-outage
+
+Compare defended against undefended training on the attack grid::
+
+    python -m repro run --models DNN --defense none curriculum
 
 Publish a quick-profile model and serve it::
 
@@ -180,7 +188,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="restrict to one tag (e.g. environment, infrastructure, adversarial)",
     )
-    for list_parser in (list_models, list_attacks, list_scenarios):
+
+    list_defenses = subparsers.add_parser(
+        "list-defenses", help="enumerate every registered defense"
+    )
+    list_defenses.add_argument(
+        "--tag",
+        default=None,
+        help="restrict to one tag (e.g. training, inference, adversarial)",
+    )
+    for list_parser in (list_models, list_attacks, list_scenarios, list_defenses):
         list_parser.add_argument(
             "--json",
             action="store_true",
@@ -232,6 +249,17 @@ def build_parser() -> argparse.ArgumentParser:
             "skipped and only the scenarios run"
         ),
     )
+    run.add_argument(
+        "--defense",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help=(
+            "defenses to train every model under (see list-defenses); each "
+            "model is evaluated once per defense and results carry a "
+            "'defense' column — include 'none' for the undefended baseline row"
+        ),
+    )
     _add_common_options(run, suppress=True)
 
     store = subparsers.add_parser(
@@ -263,6 +291,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--tag", action="append", default=[], help="tag(s) to point at the new version"
     )
     store_publish.add_argument("--profile", choices=sorted(_PROFILES), default="quick")
+    store_publish.add_argument(
+        "--defense",
+        default=None,
+        metavar="NAME",
+        help="harden the published model with a registered defense (see "
+        "list-defenses); inference guards like 'detector' travel with the "
+        "artifact and screen requests at serving time",
+    )
     store_publish.add_argument("--no-cache", action="store_true")
     store_promote = store_actions.add_parser(
         "promote", help="point a tag at the version a reference selects"
@@ -401,6 +437,12 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     return _cmd_list_registry("scenario", SCENARIOS, args)
 
 
+def _cmd_list_defenses(args: argparse.Namespace) -> int:
+    from .registry import DEFENSES
+
+    return _cmd_list_registry("defense", DEFENSES, args)
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     from .registry import catalog_document
     from .serve import ModelStore
@@ -433,9 +475,11 @@ def _cmd_store(args: argparse.Namespace) -> int:
             profile=args.profile,
             cache=not args.no_cache,
             tags=args.tag,
+            defense=args.defense,
         )
         print(f"published {version.ref} (digest {version.digest[:12]}, "
-              f"tags: {', '.join(version.tags) or '-'})")
+              f"tags: {', '.join(version.tags) or '-'}, "
+              f"defense: {version.defense})")
     elif action == "promote":
         version = store.promote(args.ref, args.tag)
         print(f"tag '{args.tag}' -> {version.ref}")
@@ -508,6 +552,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 ("--epsilons", args.epsilons),
                 ("--phis", args.phis),
                 ("--scenario", args.scenario),
+                ("--defense", args.defense),
             )
             if value
         ]
@@ -532,6 +577,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             epsilons=tuple(args.epsilons) if args.epsilons else None,
             phi_percents=tuple(args.phis) if args.phis else None,
             robustness=tuple(args.scenario) if args.scenario else None,
+            defenses=tuple(args.defense) if args.defense else None,
         )
     else:
         raise SystemExit("run requires --spec FILE or --models NAME [NAME ...]")
@@ -544,10 +590,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     results = run_experiment(spec, **engine)
     rows = []
+    defense_cells = sorted({record.defense for record in results.records})
     for model_name in results.models():
-        summary = results.filter(model=model_name).error_summary()
-        rows.append([model_name, summary.mean, summary.worst_case, summary.count])
-    print(ascii_table(rows, headers=["model", "mean err (m)", "worst err (m)", "samples"]))
+        for defense in defense_cells:
+            cell = results.filter(model=model_name, defense=defense)
+            if not len(cell):
+                continue
+            summary = cell.error_summary()
+            rows.append(
+                [model_name, defense, summary.mean, summary.worst_case, summary.count]
+            )
+    print(
+        ascii_table(
+            rows,
+            headers=["model", "defense", "mean err (m)", "worst err (m)", "samples"],
+        )
+    )
     if output_dir is not None:
         output_dir.mkdir(parents=True, exist_ok=True)
         csv_path = results_to_csv(results.to_rows(), output_dir / "results.csv")
@@ -566,6 +624,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_list_attacks(args)
     if command == "list-scenarios":
         return _cmd_list_scenarios(args)
+    if command == "list-defenses":
+        return _cmd_list_defenses(args)
     if command == "store":
         try:
             return _cmd_store(args)

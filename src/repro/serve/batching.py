@@ -103,12 +103,18 @@ class MicroBatcher:
         localize_fn: Callable[[np.ndarray], "LocalizationResult"],
         max_batch: int = 64,
         max_wait_ms: float = 5.0,
+        batch_fn: Optional[Callable[[np.ndarray], "LocalizationResult"]] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
         self.localize_fn = localize_fn
+        #: Function used for combined batch flushes.  A failed batch flush is
+        #: retried per request through ``localize_fn``, so callers whose
+        #: backend keeps failure metrics (the gateway) can pass a
+        #: stats-suppressed variant here to avoid counting each failure twice.
+        self.batch_fn = batch_fn if batch_fn is not None else localize_fn
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_ms) / 1000.0
         self._poll_s = min(1e-3, max(5e-5, self.max_wait_s / 10.0))
@@ -182,7 +188,7 @@ class MicroBatcher:
     def _flush(self, batch: List[_Pending]) -> None:
         try:
             features = np.concatenate([item.features for item in batch], axis=0)
-            result = self.localize_fn(features)
+            result = self.batch_fn(features)
         except Exception:
             # One bad request (e.g. a mismatched fingerprint width) must
             # neither kill the flusher thread nor fail its batch-mates:
@@ -240,6 +246,11 @@ def _slice_result(result: "LocalizationResult", start: int, stop: int):
         probabilities=(
             result.probabilities[start:stop]
             if result.probabilities is not None
+            else None
+        ),
+        guard_flags=(
+            result.guard_flags[start:stop]
+            if result.guard_flags is not None
             else None
         ),
     )

@@ -19,6 +19,7 @@ import time
 from collections import OrderedDict, deque
 from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
 
+from ..defenses.base import GuardRejectedError
 from .store import ModelStore
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -46,6 +47,10 @@ class EndpointStats:
         self.requests = 0
         self.fingerprints = 0
         self.errors = 0
+        #: Fingerprints the endpoint's inference guard flagged as adversarial.
+        self.guard_flagged = 0
+        #: Requests an enforcing guard rejected (HTTP 403).
+        self.guard_rejected = 0
         self.total_seconds = 0.0
         self.last_request_unix: Optional[float] = None
         #: Bounded window of recent request latencies (seconds) for p50/p99.
@@ -64,6 +69,12 @@ class EndpointStats:
         with self._lock:
             self.errors += 1
 
+    def record_guard(self, flagged: int, rejected: bool = False) -> None:
+        with self._lock:
+            self.guard_flagged += int(flagged)
+            if rejected:
+                self.guard_rejected += 1
+
     def as_dict(self) -> Dict[str, Any]:
         with self._lock:
             window = list(self.latencies)
@@ -74,13 +85,16 @@ class EndpointStats:
                 self.requests,
                 self.fingerprints,
                 self.errors,
+                self.guard_flagged,
+                self.guard_rejected,
                 self.last_request_unix,
             )
-        requests, fingerprints, errors, last_request_unix = snapshot
+        requests, fingerprints, errors, flagged, rejected, last_request_unix = snapshot
         return {
             "requests": requests,
             "fingerprints": fingerprints,
             "errors": errors,
+            "guard": {"flagged": flagged, "rejected": rejected},
             "latency_ms": {
                 "mean": round(mean_ms, 4) if mean_ms is not None else None,
                 "p50": _ms(percentile(window, 50.0)),
@@ -183,8 +197,23 @@ class Gateway:
                 stats = self._stats[endpoint] = EndpointStats()
             return stats
 
-    def localize(self, endpoint: str, batch) -> "LocalizationResult":
-        """Route one localize request; bit-identical to the direct service call."""
+    def localize(
+        self, endpoint: str, batch, suppress_error_stats: bool = False
+    ) -> "LocalizationResult":
+        """Route one localize request; bit-identical to the direct service call.
+
+        Services carrying an inference guard (published from defended
+        training, see :mod:`repro.defenses`) are screened inside
+        ``service.localize``; the gateway accounts the outcome per endpoint —
+        flagged fingerprints and rejected requests surface under the
+        ``guard`` key of ``GET /metrics``.
+
+        ``suppress_error_stats`` is for callers that retry a failed call at a
+        finer granularity (the micro-batcher degrades a failed batched flush
+        to per-request calls): the retries are the user-visible outcomes, so
+        counting the probe's failure too would double every error/rejection.
+        Success-path stats are always recorded.
+        """
         start = time.perf_counter()
         # Resolve before touching stats: an unknown endpoint must not leave a
         # permanent EndpointStats entry behind (a fuzzing client would grow
@@ -193,9 +222,17 @@ class Gateway:
         stats = self._stats_for(endpoint)
         try:
             result = service.localize(batch)
-        except Exception:
-            stats.record_error()
+        except GuardRejectedError as error:
+            if not suppress_error_stats:
+                stats.record_guard(len(error.flagged_indices), rejected=True)
             raise
+        except Exception:
+            if not suppress_error_stats:
+                stats.record_error()
+            raise
+        flags = getattr(result, "guard_flags", None)
+        if flags is not None:
+            stats.record_guard(int(flags.sum()))
         stats.record(time.perf_counter() - start, len(result))
         return result
 

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, 
 
 import numpy as np
 
+from ..defenses.base import GuardRejectedError
 from .batching import MicroBatcher
 from .gateway import Gateway
 from .store import ModelStore, StoreError
@@ -93,6 +94,12 @@ class ServingApp:
                     partial(self.gateway.localize, endpoint),
                     max_batch=self.max_batch,
                     max_wait_ms=self.max_wait_ms,
+                    # A failed combined flush degrades to per-request calls,
+                    # which then record the user-visible error/guard stats;
+                    # the probe must not pre-count them.
+                    batch_fn=partial(
+                        self.gateway.localize, endpoint, suppress_error_stats=True
+                    ),
                 )
                 self._batchers[endpoint] = batcher
             return batcher
@@ -145,6 +152,12 @@ class ServingApp:
         if payload.get("probabilities") and result.probabilities is not None:
             document["probabilities"] = [
                 [float(v) for v in row] for row in result.probabilities
+            ]
+        if result.guard_flags is not None:
+            # Monitor-mode guard verdicts: indices the detector flagged
+            # (enforce mode rejects the whole request with 403 instead).
+            document["guard_flagged"] = [
+                int(i) for i in np.flatnonzero(result.guard_flags)
             ]
         return document
 
@@ -244,6 +257,17 @@ class _Handler(BaseHTTPRequestHandler):
             document = self.app.localize_document(payload)
         except StoreError as error:
             self._send_error_json(404, str(error))
+        except GuardRejectedError as error:
+            # An enforcing inference guard flagged the request as adversarial;
+            # the flagged row indices let the client identify the offenders.
+            self._send_json(
+                403,
+                {
+                    "error": str(error),
+                    "defense": error.defense,
+                    "flagged": list(error.flagged_indices),
+                },
+            )
         except (TypeError, ValueError) as error:
             self._send_error_json(400, str(error))
         except Exception as error:  # pragma: no cover - defensive 500

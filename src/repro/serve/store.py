@@ -109,6 +109,9 @@ class ModelVersion:
     params: Tuple[Tuple[str, Any], ...]
     created_unix: float
     tags: Tuple[str, ...] = ()
+    #: Defense provenance: the hardening strategy the artifact was trained
+    #: under ("none" for plain fits; see :mod:`repro.defenses`).
+    defense: str = "none"
 
     @property
     def ref(self) -> str:
@@ -125,6 +128,7 @@ class ModelVersion:
             "params": dict(self.params),
             "tags": list(self.tags),
             "created_unix": self.created_unix,
+            "defense": self.defense,
         }
 
 
@@ -203,6 +207,7 @@ class ModelStore:
             params=tuple(sorted(dict(entry.get("params", {})).items())),
             created_unix=float(entry.get("created_unix", 0.0)),
             tags=tuple(sorted(tag for tag, v in tags.items() if v == number)),
+            defense=str(entry.get("defense", "none")),  # pre-1.4 manifests
         )
 
     # -- publishing -----------------------------------------------------
@@ -252,6 +257,7 @@ class ModelStore:
                     "model": service.model_name,
                     "params": dict(service.params),
                     "created_unix": time.time(),
+                    "defense": getattr(service, "defense_name", "none"),
                 }
                 manifest["versions"].append(entry)
             else:
@@ -271,19 +277,23 @@ class ModelStore:
         config: Optional["EvaluationConfig"] = None,
         cache: object = True,
         tags: Sequence[str] = (),
+        defense: object = None,
     ) -> ModelVersion:
         """Train-and-publish in one step via the engine's cached work units.
 
         Campaign simulation and model training run through
         :meth:`LocalizationService.trained_on`, so a building an experiment
         already visited publishes from the warm cache without retraining.
-        ``name`` defaults to the lowercased registry name.
+        ``name`` defaults to the lowercased registry name.  ``defense``
+        hardens the published service (training-time defenses run in the
+        cached training unit; inference guards travel with the artifact) and
+        is recorded as provenance in the version manifest.
         """
         from ..api import LocalizationService
 
         service = LocalizationService.trained_on(
             building, model=model, params=params, profile=profile,
-            config=config, cache=cache,
+            config=config, cache=cache, defense=defense,
         )
         return self.publish(service, name or service.model_name.lower(), tags=tags)
 

@@ -1,0 +1,138 @@
+"""Defended training through the execution engine: determinism + defense column."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentSpec, LocalizationService, run_experiment
+from repro.eval.engine import ArtifactCache, ModelTask, cache_key
+
+#: Small defended experiment: one cheap DNN under three defense rows.
+DEFENSES = (
+    "none",
+    {"name": "curriculum", "params": {"num_lessons": 3, "epochs_per_lesson": 1}},
+    {"name": "input-noise", "params": {"copies": 1}},
+)
+
+
+@pytest.fixture(scope="module")
+def defended_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        models=({"name": "DNN", "params": {"hidden_dims": [16], "epochs": 4}},),
+        profile="quick",
+        devices=("OP3",),
+        attack_methods=("FGSM",),
+        epsilons=(0.3,),
+        phi_percents=(50.0,),
+        defenses=DEFENSES,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_records(defended_spec):
+    return run_experiment(defended_spec).to_records()
+
+
+class TestDefendedDeterminism:
+    def test_records_carry_defense_column(self, serial_records):
+        defenses = {row["defense"] for row in serial_records}
+        assert defenses == {"none", "curriculum", "input-noise"}
+        assert all("defense" in row for row in serial_records)
+
+    def test_parallel_matches_serial_bit_for_bit(self, defended_spec, serial_records):
+        parallel = run_experiment(defended_spec, jobs=3)
+        assert parallel.to_records() == serial_records
+
+    def test_warm_cache_is_bit_identical_to_cold(
+        self, defended_spec, serial_records, tmp_path
+    ):
+        cache_dir = tmp_path / "cache"
+        cold = run_experiment(defended_spec, cache=cache_dir)
+        warm = run_experiment(defended_spec, cache=cache_dir)
+        assert cold.to_records() == serial_records
+        assert warm.to_records() == serial_records
+
+    def test_filter_by_defense(self, defended_spec, serial_records):
+        results = run_experiment(defended_spec)
+        hardened = results.filter(defense="curriculum")
+        assert len(hardened) == len(serial_records) // len(DEFENSES)
+        assert {r.defense for r in hardened.records} == {"curriculum"}
+
+
+class TestCacheKeying:
+    def test_none_defense_shares_undefended_digest(self):
+        """The 'none' row aliases the plain undefended artefacts on purpose."""
+        undefended = ModelTask.create("DNN", "DNN", {"epochs": 4})
+        assert undefended.defense is None
+        payload_a = cache_key("model", {"model": "DNN", "params": {"epochs": 4}, "campaign": "x"})
+        # resolve_model_tasks maps the "none" family to defense=None, so the
+        # payload (and digest) is the same object shape in both cases.
+        spec = ExperimentSpec(
+            models=({"name": "DNN", "params": {"epochs": 4}},), defenses=("none",)
+        )
+        task = spec.resolve_model_tasks(spec.config())[0]
+        assert task.defense is None
+        assert task.key == ("DNN", "none")
+        assert payload_a  # digest computed without error
+
+    def test_defended_task_digest_differs(self):
+        spec = ExperimentSpec(
+            models=("DNN",), defenses=("none", "curriculum")
+        )
+        plain, defended = spec.resolve_model_tasks(spec.config())
+        from repro.eval.engine import _model_payload
+
+        assert cache_key("model", _model_payload(plain, "c")) != cache_key(
+            "model", _model_payload(defended, "c")
+        )
+
+    def test_inference_only_defense_shares_model_digest(self):
+        """A detector guard never changes training, so no retrain/duplicate."""
+        spec = ExperimentSpec(models=("DNN",), defenses=("none", "detector"))
+        plain, guarded = spec.resolve_model_tasks(spec.config())
+        from repro.eval.engine import _model_payload
+
+        assert guarded.defense is not None  # still labels records "detector"
+        assert cache_key("model", _model_payload(plain, "c")) == cache_key(
+            "model", _model_payload(guarded, "c")
+        )
+
+    def test_duplicate_task_keys_rejected_by_plan(self):
+        from repro.eval.engine import build_plan
+
+        task = ModelTask.create("DNN", "DNN", {}, defense="curriculum")
+        with pytest.raises(ValueError, match="duplicate"):
+            build_plan([task, task], (), ("Building 1",), ("OP3",))
+
+
+class TestDefendedServiceTrainedOn:
+    def test_trained_on_with_detector_attaches_guard(self, tmp_path):
+        service = LocalizationService.trained_on(
+            "Building 1",
+            model="KNN",
+            params={"k": 3},
+            defense="detector",
+            cache=ArtifactCache(tmp_path / "cache"),
+        )
+        assert service.defense_name == "detector"
+        assert service.guard is not None and service.guard.guard_is_fitted
+        # Round-trip through the canonical archive restores the guard.
+        restored = LocalizationService.from_state_arrays(service.state_arrays())
+        assert restored.defense_name == "detector"
+        assert restored.guard is not None and restored.guard.guard_is_fitted
+        np.testing.assert_array_equal(
+            restored.guard.guard_state_arrays()["references"],
+            service.guard.guard_state_arrays()["references"],
+        )
+
+    def test_trained_on_none_defense_is_plain(self, tmp_path):
+        service = LocalizationService.trained_on(
+            "Building 1",
+            model="KNN",
+            params={"k": 3},
+            defense="none",
+            cache=ArtifactCache(tmp_path / "cache"),
+        )
+        assert service.defense_name == "none"
+        assert service.guard is None

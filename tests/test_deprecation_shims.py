@@ -1,0 +1,74 @@
+"""Regression tests: deprecated shims warn but stay behaviour-identical.
+
+``make_baseline`` and ``ATTACK_REGISTRY`` predate the unified registry
+(:mod:`repro.registry`); they must keep working exactly as documented while
+emitting :class:`DeprecationWarning` so downstream code migrates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import ATTACK_REGISTRY, FGSMAttack, MIMAttack, PGDAttack, ThreatModel
+from repro.baselines import KNNLocalizer, make_baseline
+from repro.registry import ATTACKS, make_localizer
+
+
+class TestMakeBaselineShim:
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="make_baseline is deprecated"):
+            make_baseline("KNN", k=3)
+
+    def test_behaviour_identical_to_registry(self):
+        with pytest.warns(DeprecationWarning):
+            shimmed = make_baseline("KNN", k=5)
+        direct = make_localizer("KNN", k=5)
+        assert type(shimmed) is type(direct) is KNNLocalizer
+        assert shimmed.k == direct.k == 5
+
+    def test_case_insensitive_like_registry(self):
+        with pytest.warns(DeprecationWarning):
+            assert isinstance(make_baseline("knn"), KNNLocalizer)
+
+    def test_unknown_name_still_raises_keyerror(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError):
+                make_baseline("ResNet")
+
+
+class TestAttackRegistryShim:
+    def test_getitem_warns_and_returns_registry_class(self):
+        with pytest.warns(DeprecationWarning, match="ATTACK_REGISTRY is deprecated"):
+            cls = ATTACK_REGISTRY["FGSM"]
+        assert cls is FGSMAttack
+        assert cls is ATTACKS.get("FGSM")
+
+    def test_get_warns_and_matches_dict_semantics(self):
+        with pytest.warns(DeprecationWarning):
+            assert ATTACK_REGISTRY.get("PGD") is PGDAttack
+        with pytest.warns(DeprecationWarning):
+            assert ATTACK_REGISTRY.get("CW") is None
+        with pytest.warns(DeprecationWarning):
+            assert ATTACK_REGISTRY.get("CW", FGSMAttack) is FGSMAttack
+
+    def test_getitem_unknown_key_still_raises_keyerror(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError):
+                ATTACK_REGISTRY["CW"]
+
+    def test_contents_match_registry_factories(self):
+        # Iteration/containment stay silent (and warning-free) by design.
+        assert set(ATTACK_REGISTRY) == {"FGSM", "PGD", "MIM"}
+        assert "FGSM" in ATTACK_REGISTRY
+        expected = {"FGSM": FGSMAttack, "PGD": PGDAttack, "MIM": MIMAttack}
+        for name, cls in expected.items():
+            with pytest.warns(DeprecationWarning):
+                assert ATTACK_REGISTRY[name] is cls
+
+    def test_instances_built_from_shim_behave_identically(self):
+        threat = ThreatModel(epsilon=0.2, phi_percent=25.0, seed=4)
+        with pytest.warns(DeprecationWarning):
+            shimmed = ATTACK_REGISTRY["MIM"](threat)
+        direct = ATTACKS.create("MIM", threat)
+        assert type(shimmed) is type(direct)
+        assert shimmed.threat_model == direct.threat_model
