@@ -84,9 +84,10 @@ from .registry import (
     register_localizer,
     register_scenario,
 )
+from .queue import QueueWorker, RunLedger, WorkerOptions, collect_results
 from .serve import Gateway, MicroBatcher, ModelStore, ServiceClient
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CALLOC",
@@ -111,6 +112,10 @@ __all__ = [
     "Gateway",
     "MicroBatcher",
     "ServiceClient",
+    "RunLedger",
+    "QueueWorker",
+    "WorkerOptions",
+    "collect_results",
     "register_localizer",
     "register_attack",
     "register_scenario",

@@ -315,6 +315,25 @@ class ExperimentSpec:
         """The robustness scenarios this spec declares (empty by default)."""
         return list(self.robustness) if self.robustness is not None else []
 
+    def resolve_plan(self, config: Optional[EvaluationConfig] = None) -> "ExecutionPlan":
+        """The spec's full work-unit DAG (see :func:`repro.eval.engine.build_plan`).
+
+        This is exactly the plan :func:`run_experiment` executes — used by
+        ``repro run --dry-run`` to preview unit counts and by the campaign
+        queue to persist a run ledger; every process that rebuilds the plan
+        from the same spec derives the same units in the same order.
+        """
+        from .eval.engine import build_plan
+
+        config = config or self.config()
+        return build_plan(
+            self.resolve_model_tasks(config),
+            self.resolve_scenarios(config),
+            self.buildings if self.buildings is not None else config.buildings,
+            self.devices if self.devices is not None else config.devices,
+            tuple(self.resolve_robustness(config)),
+        )
+
     def validate(self) -> "ExperimentSpec":
         """Re-check component names against the registries; returns self.
 

@@ -69,6 +69,7 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -106,6 +107,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports engin
 __all__ = [
     "CACHE_DIR_ENV",
     "default_cache_dir",
+    "write_atomic",
     "cache_key",
     "ArtifactCache",
     "CacheStats",
@@ -114,12 +116,19 @@ __all__ = [
     "TrainUnit",
     "EvalUnit",
     "ScenarioUnit",
+    "PlanUnit",
     "ExecutionPlan",
     "build_plan",
     "simulate_campaign",
     "train_localizer",
     "evaluate_unit",
     "evaluate_scenario_unit",
+    "unit_kind",
+    "unit_payload",
+    "unit_digest",
+    "unit_id",
+    "unit_title",
+    "execute_unit",
     "ExecutionEngine",
 ]
 
@@ -133,6 +142,37 @@ def default_cache_dir() -> Path:
     if override:
         return Path(override).expanduser()
     return Path("~/.cache/repro").expanduser()
+
+
+def write_atomic(path: Path, writer) -> None:
+    """Write ``path`` atomically: ``writer(temp_path)`` then ``os.replace``.
+
+    Readers can never observe a partially-written file, which makes this the
+    required write discipline for everything shared between concurrent
+    processes — cache artefacts, queue-ledger manifests and unit states.
+    ``writer`` may return the path it actually produced (e.g. ``np.savez``
+    appends ``.npz``); both the temp file and that sibling are cleaned up on
+    failure so a crashed write never litters the directory.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+    os.close(handle)
+    temp_path = Path(temp_name)
+    produced: Optional[Path] = None
+    try:
+        produced = writer(temp_path)
+        os.replace(produced if produced else temp_path, path)
+    except BaseException:
+        for leftover in (temp_path, produced):
+            if leftover is not None and leftover.exists():
+                leftover.unlink()
+        raise
+    else:
+        # Success renamed the source away; only a writer that produced a
+        # sibling (e.g. ``np.savez`` appending ``.npz``) leaves the original
+        # temp file to clean up.
+        if produced is not None and produced != temp_path and temp_path.exists():
+            temp_path.unlink()
 
 
 # ----------------------------------------------------------------------
@@ -245,31 +285,44 @@ class ArtifactCache:
         return self.root / kind / digest[:2] / f"{digest}.{extension}"
 
     def _write_atomic(self, path: Path, writer) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
-        os.close(handle)
-        temp_path = Path(temp_name)
-        produced: Optional[Path] = None
+        write_atomic(path, writer)
+
+    def _read_or_discard(self, path: Path, loader) -> Optional[Any]:
+        """Load one artefact file, treating an unreadable one as absent.
+
+        Writes are atomic, so the cache itself never produces truncated
+        files — but a shared cache directory can still accumulate corrupt
+        artefacts from the outside (a partial rsync between hosts, disk
+        errors, a SIGKILLed foreign writer without the atomic discipline).
+        Serving such a file as a hit would crash every run that touches it
+        forever; deleting it turns the damage into a one-time recompute.
+        """
+        if not path.exists():
+            return None
         try:
-            produced = writer(temp_path)
-            os.replace(produced if produced else temp_path, path)
-        finally:
-            # Writers may produce a sibling file (e.g. np.savez appends .npz);
-            # clean both so a failed write never litters the cache shard.
-            for leftover in (temp_path, produced):
-                if leftover is not None and leftover.exists():
-                    leftover.unlink()
+            return loader(path)
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink is fine
+                pass
+            return None
 
     # -- pickle payloads ------------------------------------------------
+    @staticmethod
+    def _load_pickle(path: Path) -> Any:
+        with path.open("rb") as stream:
+            return pickle.load(stream)
+
     def get_pickle(self, kind: str, digest: str) -> Optional[Any]:
         if not self.enabled:
             return None
-        path = self.path_for(kind, digest, "pkl")
-        if not path.exists():
+        value = self._read_or_discard(
+            self.path_for(kind, digest, "pkl"), self._load_pickle
+        )
+        if value is None:
             self.stats.misses += 1
             return None
-        with path.open("rb") as stream:
-            value = pickle.load(stream)
         self.stats.hits += 1
         return value
 
@@ -288,11 +341,12 @@ class ArtifactCache:
     def get_arrays(self, kind: str, digest: str) -> Optional[Dict[str, np.ndarray]]:
         if not self.enabled:
             return None
-        path = self.path_for(kind, digest, "npz")
-        if not path.exists():
+        arrays = self._read_or_discard(
+            self.path_for(kind, digest, "npz"), load_state_dict
+        )
+        if arrays is None:
             self.stats.misses += 1
             return None
-        arrays = load_state_dict(path)
         self.stats.hits += 1
         return arrays
 
@@ -304,18 +358,24 @@ class ArtifactCache:
         Returns ``("arrays", dict)`` or ``("pickle", object)``, or ``None`` —
         used for artefacts whose format depends on the payload's capabilities
         (trained models: state-arrays when supported, pickle otherwise).
+        A corrupt file under either format is discarded and the lookup falls
+        through, so a damaged ``.npz`` can still be healed by a valid ``.pkl``
+        sibling (and vice versa a recompute).
         """
         if not self.enabled:
             return None
-        npz_path = self.path_for(kind, digest, "npz")
-        if npz_path.exists():
+        arrays = self._read_or_discard(
+            self.path_for(kind, digest, "npz"), load_state_dict
+        )
+        if arrays is not None:
             self.stats.hits += 1
-            return ("arrays", load_state_dict(npz_path))
-        pkl_path = self.path_for(kind, digest, "pkl")
-        if pkl_path.exists():
+            return ("arrays", arrays)
+        value = self._read_or_discard(
+            self.path_for(kind, digest, "pkl"), self._load_pickle
+        )
+        if value is not None:
             self.stats.hits += 1
-            with pkl_path.open("rb") as stream:
-                return ("pickle", pickle.load(stream))
+            return ("pickle", value)
         self.stats.misses += 1
         return None
 
@@ -452,6 +512,10 @@ class ScenarioUnit:
     spec: ScenarioSpec
 
 
+#: Any work unit a plan can contain.
+PlanUnit = Union[CampaignUnit, TrainUnit, EvalUnit, ScenarioUnit]
+
+
 @dataclass
 class ExecutionPlan:
     """The flat DAG of an experiment: every unit, dependency-ordered.
@@ -482,6 +546,24 @@ class ExecutionPlan:
             f"{len(self.campaign_units)} campaign / {len(self.train_units)} train / "
             f"{len(self.eval_units)} eval / {len(self.scenario_units)} scenario units"
         )
+
+    def stage_counts(self) -> Dict[str, int]:
+        """Unit count per stage, in dependency order (for previews/ledgers)."""
+        return {
+            "campaign": len(self.campaign_units),
+            "train": len(self.train_units),
+            "eval": len(self.eval_units),
+            "scenario": len(self.scenario_units),
+        }
+
+    def all_units(self) -> List["PlanUnit"]:
+        """Every unit in canonical (stage-major, grid) order."""
+        return [
+            *self.campaign_units,
+            *self.train_units,
+            *self.eval_units,
+            *self.scenario_units,
+        ]
 
 
 def build_plan(
@@ -852,22 +934,59 @@ def evaluate_scenario_unit(
 # ----------------------------------------------------------------------
 # Worker entry points (module-level so ProcessPoolExecutor can pickle them)
 # ----------------------------------------------------------------------
+class _WorkerMemo(threading.local):
+    """Per-thread memos for fitted surrogates and trained models.
+
+    These memos are thread-local, not process-global: a memoised model holds
+    live autograd state (parameter ``grad`` buffers, training-mode flags),
+    so sharing one instance between concurrently executing queue workers in
+    a single process would race.  For the process-pool path (one thread per
+    worker process) thread-local and process-global are the same thing.
+    Surrogates fitted for one (model, device) cell are reused by every later
+    cell of the same model that lands in the same worker (keys embed the
+    campaign digest via the model digest, so reuse can never cross
+    campaigns).
+    """
+
+    def __init__(self) -> None:
+        self.surrogates: Dict[str, SurrogateGradientModel] = {}
+        self.models: Dict[Tuple[Tuple[str, str], str], Tuple[Localizer, str]] = {}
+
+
+_WORKER_MEMO = _WorkerMemo()
+
+#: Campaigns are large (every fingerprint array of a building), so train/
+#: eval submissions ship only the campaign *digest*; workers rebuild the
+#: campaign once — from this memo, the on-disk cache, or a deterministic
+#: re-simulation — instead of paying pickle/unpickle IPC for the full
+#: payload on every unit.  Unlike models, a campaign is immutable input
+#: data, so one process-level memo is shared by every worker thread; the
+#: lock is held across the rebuild so a second thread wanting the same
+#: campaign waits for one rebuild instead of duplicating it.
+_CAMPAIGN_MEMO: Dict[str, LocalizationCampaign] = {}
+_CAMPAIGN_LOCK = threading.Lock()
+
+
+def _campaign_memo_get_or_build(digest, builder):
+    """Return the memoised campaign for ``digest``, building it if absent."""
+    with _CAMPAIGN_LOCK:
+        campaign = _CAMPAIGN_MEMO.get(digest)
+        if campaign is None:
+            campaign, computed = builder()
+            assert computed == digest, "campaign digest mismatch across workers"
+            _CAMPAIGN_MEMO[digest] = campaign
+    return campaign
+
+
 def _worker_campaign(
     building: str, config: EvaluationConfig, cache_spec: Optional[Tuple[str, bool]]
 ) -> Tuple[LocalizationCampaign, str]:
     campaign, digest = simulate_campaign(
         building, config, ArtifactCache.from_spec(cache_spec)
     )
-    _WORKER_CAMPAIGNS[digest] = campaign
+    with _CAMPAIGN_LOCK:
+        _CAMPAIGN_MEMO[digest] = campaign
     return campaign, digest
-
-
-#: Per-worker-process campaign memo.  Campaigns are large (every fingerprint
-#: array of a building), so train/eval submissions ship only the campaign
-#: *digest*; workers rebuild the campaign once per process — from this memo,
-#: the on-disk cache, or a deterministic re-simulation — instead of paying
-#: pickle/unpickle IPC for the full payload on every unit.
-_WORKER_CAMPAIGNS: Dict[str, LocalizationCampaign] = {}
 
 
 def _worker_get_campaign(
@@ -876,14 +995,12 @@ def _worker_get_campaign(
     config: EvaluationConfig,
     cache_spec: Optional[Tuple[str, bool]],
 ) -> LocalizationCampaign:
-    campaign = _WORKER_CAMPAIGNS.get(campaign_digest)
-    if campaign is None:
-        campaign, digest = simulate_campaign(
+    return _campaign_memo_get_or_build(
+        campaign_digest,
+        lambda: simulate_campaign(
             building, config, ArtifactCache.from_spec(cache_spec)
-        )
-        assert digest == campaign_digest, "campaign digest mismatch across processes"
-        _WORKER_CAMPAIGNS[campaign_digest] = campaign
-    return campaign
+        ),
+    )
 
 
 def _worker_train(
@@ -897,13 +1014,6 @@ def _worker_train(
     return train_localizer(
         task, campaign, campaign_digest, ArtifactCache.from_spec(cache_spec)
     )
-
-
-#: Per-worker-process surrogate memo: pool workers outlive individual units,
-#: so a surrogate fitted for one (model, device) cell is reused by every later
-#: cell of the same model that lands in the same process (keys embed the
-#: campaign digest via the model digest, so reuse can never cross campaigns).
-_WORKER_SURROGATES: Dict[str, SurrogateGradientModel] = {}
 
 
 def _worker_eval(
@@ -924,7 +1034,7 @@ def _worker_eval(
         campaign,
         config,
         ArtifactCache.from_spec(cache_spec),
-        surrogates=_WORKER_SURROGATES,
+        surrogates=_WORKER_MEMO.surrogates,
     )
 
 
@@ -947,8 +1057,200 @@ def _worker_scenario(
         campaign_digest,
         config,
         ArtifactCache.from_spec(cache_spec),
-        surrogates=_WORKER_SURROGATES,
+        surrogates=_WORKER_MEMO.surrogates,
     )
+
+
+# ----------------------------------------------------------------------
+# Single-unit execution (standalone entry points for the campaign queue)
+# ----------------------------------------------------------------------
+def unit_kind(unit: PlanUnit) -> str:
+    """The stage name of one plan unit: campaign/train/eval/scenario."""
+    if isinstance(unit, CampaignUnit):
+        return "campaign"
+    if isinstance(unit, TrainUnit):
+        return "train"
+    if isinstance(unit, EvalUnit):
+        return "eval"
+    if isinstance(unit, ScenarioUnit):
+        return "scenario"
+    raise TypeError(f"not a plan unit: {unit!r}")
+
+
+def unit_payload(unit: PlanUnit, config: EvaluationConfig) -> Dict[str, Any]:
+    """Canonicalisable description of *everything that determines* a unit.
+
+    Two units have equal payloads exactly when they compute the same thing:
+    the campaign configuration is embedded everywhere (it determines every
+    downstream artefact), and eval/scenario payloads carry the surrogate
+    seed because it co-determines perturbations against non-differentiable
+    victims.  The queue ledger digests this payload to give units stable,
+    content-addressed identities across processes and hosts.
+    """
+    campaign = _campaign_payload(unit.building, config)
+    if isinstance(unit, CampaignUnit):
+        return campaign
+    if isinstance(unit, TrainUnit):
+        return {"campaign": campaign, "task": unit.task}
+    if isinstance(unit, EvalUnit):
+        return {
+            "campaign": campaign,
+            "task": unit.task,
+            "device": unit.device,
+            "scenarios": unit.scenarios,
+            "surrogate_seed": config.model_seed,
+        }
+    if isinstance(unit, ScenarioUnit):
+        return {
+            "campaign": campaign,
+            "task": unit.task,
+            "device": unit.device,
+            "spec": unit.spec,
+            "surrogate_seed": config.model_seed,
+        }
+    raise TypeError(f"not a plan unit: {unit!r}")
+
+
+def unit_digest(unit: PlanUnit, config: EvaluationConfig) -> str:
+    """Content digest of one plan unit (see :func:`unit_payload`)."""
+    return cache_key(
+        "queue-unit", {"kind": unit_kind(unit), "payload": unit_payload(unit, config)}
+    )
+
+
+def unit_id(unit: PlanUnit, config: EvaluationConfig) -> str:
+    """Stable unit identifier: ``<kind>-<digest prefix>``.
+
+    Identical across processes, hosts and resubmissions of the same spec
+    under the same package version — the key the queue ledger files unit
+    state, leases and results under.
+    """
+    return f"{unit_kind(unit)}-{unit_digest(unit, config)[:12]}"
+
+
+def unit_title(unit: PlanUnit) -> str:
+    """Short human-readable description of one plan unit."""
+    if isinstance(unit, CampaignUnit):
+        return f"campaign {unit.building}"
+    if isinstance(unit, TrainUnit):
+        return f"train {unit.task.label}/{unit.task.defense_label} @ {unit.building}"
+    if isinstance(unit, EvalUnit):
+        return (
+            f"eval {unit.task.label}/{unit.task.defense_label} @ {unit.building} "
+            f"/ {unit.device} ({len(unit.scenarios)} attack points)"
+        )
+    if isinstance(unit, ScenarioUnit):
+        return (
+            f"scenario {unit.spec.display_name}: {unit.task.label}/"
+            f"{unit.task.defense_label} @ {unit.building} / {unit.device}"
+        )
+    raise TypeError(f"not a plan unit: {unit!r}")
+
+
+def _memoised_campaign(
+    building: str, config: EvaluationConfig, cache: Optional[ArtifactCache]
+) -> Tuple[LocalizationCampaign, str]:
+    """Per-process campaign lookup shared by every standalone unit execution."""
+    digest = cache_key("campaign", _campaign_payload(building, config))
+    campaign = _campaign_memo_get_or_build(
+        digest, lambda: simulate_campaign(building, config, cache)
+    )
+    return campaign, digest
+
+
+def _memoised_localizer(
+    task: ModelTask,
+    campaign: LocalizationCampaign,
+    campaign_digest: str,
+    cache: Optional[ArtifactCache],
+) -> Tuple[Localizer, str]:
+    """Per-worker trained-model lookup for standalone unit execution.
+
+    A model's eval/scenario units run as separate queue units, so without a
+    memo every one would deserialise (or retrain) the same localizer from
+    the cache; the in-process engine keeps models in memory across the same
+    span.  Keyed by (task key, campaign digest) — exactly what determines
+    the trained artefact.
+    """
+    memo_key = (task.key, campaign_digest)
+    hit = _WORKER_MEMO.models.get(memo_key)
+    if hit is None:
+        hit = train_localizer(task, campaign, campaign_digest, cache)
+        _WORKER_MEMO.models[memo_key] = hit
+    return hit
+
+
+def execute_unit(
+    unit: PlanUnit,
+    config: EvaluationConfig,
+    cache: Optional[ArtifactCache] = None,
+) -> Dict[str, Any]:
+    """Execute one plan unit standalone and return a JSON-ready outcome.
+
+    This is the reusable single-unit entry point the distributed campaign
+    queue (:mod:`repro.queue`) drives: any process holding the spec's
+    :class:`EvaluationConfig` and (a path to) the shared artefact cache can
+    execute any unit of the plan.  Dependencies are *not* re-executed — they
+    are resolved through the content-addressed cache (or deterministically
+    recomputed when missing, which is slower but bit-identical), so running
+    units in any dependency-respecting order across any number of processes
+    yields the same artefacts and outcomes as the in-process engine.
+
+    Returns per kind:
+
+    * campaign/train — ``{"digest": <artefact digest>}``;
+    * eval — ``{"stats": [<ErrorStats dict> per attack point]}``;
+    * scenario — ``{"stats": <ErrorStats dict>, "attack_point": <dict>}``.
+
+    Campaigns, trained models and fitted surrogates are memoised per worker
+    thread (the same memos the pool workers use), so a long-lived queue
+    worker pays campaign/model deserialisation once, not once per unit.
+    """
+    if isinstance(unit, CampaignUnit):
+        _, digest = _memoised_campaign(unit.building, config, cache)
+        return {"digest": digest}
+    if isinstance(unit, TrainUnit):
+        campaign, campaign_digest = _memoised_campaign(unit.building, config, cache)
+        _, digest = _memoised_localizer(unit.task, campaign, campaign_digest, cache)
+        return {"digest": digest}
+    if isinstance(unit, EvalUnit):
+        campaign, campaign_digest = _memoised_campaign(unit.building, config, cache)
+        model, model_digest = _memoised_localizer(
+            unit.task, campaign, campaign_digest, cache
+        )
+        stats = evaluate_unit(
+            unit,
+            model,
+            model_digest,
+            campaign,
+            config,
+            cache,
+            surrogates=_WORKER_MEMO.surrogates,
+        )
+        return {"stats": [dataclasses.asdict(s) for s in stats]}
+    if isinstance(unit, ScenarioUnit):
+        campaign, campaign_digest = _memoised_campaign(unit.building, config, cache)
+        model: Optional[Localizer] = None
+        model_digest: Optional[str] = None
+        if unit.spec.build().trains_standard_model:
+            model, model_digest = _memoised_localizer(
+                unit.task, campaign, campaign_digest, cache
+            )
+        stats, attack_point = evaluate_scenario_unit(
+            unit,
+            model,
+            model_digest,
+            campaign,
+            campaign_digest,
+            config,
+            cache,
+            surrogates=_WORKER_MEMO.surrogates,
+        )
+        return {
+            "stats": dataclasses.asdict(stats),
+            "attack_point": dataclasses.asdict(attack_point),
+        }
+    raise TypeError(f"not a plan unit: {unit!r}")
 
 
 # ----------------------------------------------------------------------

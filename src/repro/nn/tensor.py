@@ -16,6 +16,7 @@ attribute during backpropagation.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -25,28 +26,41 @@ ArrayLike = Union[np.ndarray, float, int, Sequence[float], "Tensor"]
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 
-_GRAD_ENABLED = [True]
+class _GradMode(threading.local):
+    """Thread-local autograd switch.
+
+    Grad mode must be per-thread: concurrent queue workers in one process
+    evaluate models under ``no_grad`` while siblings build attack graphs, and
+    a process-global flag would silently strip ``requires_grad`` from the
+    sibling's tensors mid-construction.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 
 class no_grad:
-    """Context manager that disables graph construction.
+    """Context manager that disables graph construction (in this thread).
 
     Used during evaluation/prediction to avoid the memory and time overhead of
     recording the computation graph.
     """
 
     def __enter__(self) -> "no_grad":
-        self._previous = _GRAD_ENABLED[0]
-        _GRAD_ENABLED[0] = False
+        self._previous = _GRAD_MODE.enabled
+        _GRAD_MODE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        _GRAD_ENABLED[0] = self._previous
+        _GRAD_MODE.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations are currently recorded for autograd."""
-    return _GRAD_ENABLED[0]
+    return _GRAD_MODE.enabled
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:

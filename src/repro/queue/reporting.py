@@ -1,0 +1,171 @@
+"""Observability for queue runs: status snapshots, rendering, watch loop.
+
+:func:`run_status` is the single source of truth — a JSON-ready snapshot of
+one run ledger (per-stage progress, attempts, failures, worker liveness).
+``repro queue status --json`` emits it verbatim; :func:`render_status` turns
+it into the human tables behind ``repro queue status`` and ``repro queue
+watch``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from ..eval.reporting import ascii_table
+from .ledger import (
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_PENDING,
+    STATE_SKIPPED,
+    RunLedger,
+)
+
+__all__ = ["run_status", "render_status", "watch"]
+
+#: A worker whose heartbeat is older than this is reported as dead.
+WORKER_LIVENESS_S = 60.0
+
+_STAGE_ORDER = ("campaign", "train", "eval", "scenario")
+_STATE_ORDER = (STATE_DONE, "leased", STATE_PENDING, STATE_FAILED, STATE_SKIPPED)
+
+
+def run_status(ledger: RunLedger) -> Dict[str, Any]:
+    """One JSON-ready snapshot of a run's progress.
+
+    ``leased`` is a *derived* state: a pending unit with a live lease file.
+    It is never stored — the lease's existence is the ground truth, so a
+    worker crash cannot strand a unit in a phantom "running" state.
+    """
+    now = time.time()
+    states = ledger.states()
+    stages: Dict[str, Dict[str, int]] = {
+        stage: {state: 0 for state in _STATE_ORDER} for stage in _STAGE_ORDER
+    }
+    failed: List[Dict[str, Any]] = []
+    attempts = 0
+    for entry in ledger.units:
+        state = states[entry.id]
+        attempts += state.attempts
+        bucket = state.state
+        if bucket == STATE_PENDING and ledger.read_lease(entry.id) is not None:
+            bucket = "leased"
+        stages[entry.kind][bucket] += 1
+        if state.state in (STATE_FAILED, STATE_SKIPPED):
+            error_lines = (state.error or "").strip().splitlines()
+            failed.append(
+                {
+                    "unit": entry.id,
+                    "title": entry.title,
+                    "state": state.state,
+                    "attempts": state.attempts,
+                    "error": error_lines[-1] if error_lines else None,
+                }
+            )
+    total = len(ledger.units)
+    done = sum(counts[STATE_DONE] for counts in stages.values())
+    terminal = done + sum(
+        counts[STATE_FAILED] + counts[STATE_SKIPPED] for counts in stages.values()
+    )
+    workers = []
+    for record in ledger.workers():
+        age = now - float(record.get("last_seen_unix", 0.0))
+        workers.append(
+            {
+                "worker": record.get("worker"),
+                "status": record.get("status"),
+                "unit": record.get("unit"),
+                "executed": record.get("executed"),
+                "last_seen_s": round(age, 1),
+                "alive": age < WORKER_LIVENESS_S
+                and record.get("status") != "exited",
+            }
+        )
+    return {
+        "run_id": ledger.run_id,
+        "version": (ledger.manifest or {}).get("version"),
+        "units_total": total,
+        "units_done": done,
+        "units_terminal": terminal,
+        "attempts_total": attempts,
+        "complete": terminal == total,
+        "succeeded": done == total,
+        "stages": stages,
+        "failed_units": failed,
+        "workers": workers,
+    }
+
+
+def render_status(status: Dict[str, Any]) -> str:
+    """Human rendering of one :func:`run_status` snapshot."""
+    lines = [
+        f"run {status['run_id']} (version {status['version']}): "
+        f"{status['units_done']}/{status['units_total']} units done, "
+        f"{status['attempts_total']} attempts"
+    ]
+    rows = []
+    for stage in _STAGE_ORDER:
+        counts = status["stages"].get(stage, {})
+        if not sum(counts.values()):
+            continue
+        rows.append([stage] + [counts.get(state, 0) for state in _STATE_ORDER])
+    lines.append(ascii_table(rows, headers=("stage",) + _STATE_ORDER))
+    if status["failed_units"]:
+        lines.append("")
+        lines.append(
+            ascii_table(
+                [
+                    [f["unit"], f["state"], f["attempts"], f["error"] or ""]
+                    for f in status["failed_units"]
+                ],
+                headers=("unit", "state", "attempts", "last error"),
+            )
+        )
+    if status["workers"]:
+        lines.append("")
+        lines.append(
+            ascii_table(
+                [
+                    [
+                        w["worker"],
+                        w["status"],
+                        w.get("unit") or "",
+                        "yes" if w["alive"] else "no",
+                        w["last_seen_s"],
+                    ]
+                    for w in status["workers"]
+                ],
+                headers=("worker", "status", "unit", "alive", "seen ago (s)"),
+            )
+        )
+    if status["complete"]:
+        lines.append(
+            "run complete"
+            + ("" if status["succeeded"] else " (degraded: failures above)")
+        )
+    return "\n".join(lines)
+
+
+def watch(
+    ledger: RunLedger,
+    interval_s: float = 2.0,
+    timeout_s: Optional[float] = None,
+    printer: Any = print,
+) -> Dict[str, Any]:
+    """Poll and print :func:`run_status` until the run is terminal.
+
+    Returns the final snapshot; raises ``TimeoutError`` if ``timeout_s``
+    elapses first (used by the CI smoke job as a watchdog).
+    """
+    deadline = time.time() + timeout_s if timeout_s is not None else None
+    while True:
+        status = run_status(ledger)
+        printer(render_status(status))
+        if status["complete"]:
+            return status
+        if deadline is not None and time.time() >= deadline:
+            raise TimeoutError(
+                f"run {ledger.run_id} not complete after {timeout_s:.0f}s"
+            )
+        time.sleep(interval_s)
+        printer("")

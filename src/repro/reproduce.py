@@ -30,7 +30,14 @@ Subcommands
     Execute a declarative :class:`~repro.api.ExperimentSpec` — either loaded
     from a JSON file (``--spec``) or assembled from ``--models`` /
     ``--buildings`` / ``--devices`` / ``--scenario`` flags — and print a
-    result summary.
+    result summary.  ``--dry-run`` prints the resolved execution plan (unit
+    counts per stage) without executing anything.
+``queue``
+    The distributed campaign queue (:mod:`repro.queue`): ``submit`` a spec
+    as a durable run ledger, ``work`` it with any number of leasing worker
+    processes (crash-safe, resumable, multi-host over a shared cache
+    directory), ``status``/``watch`` progress, ``result`` to merge unit
+    outcomes into the canonical result set, ``list`` known runs.
 
 Examples
 --------
@@ -65,6 +72,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -260,7 +268,113 @@ def build_parser() -> argparse.ArgumentParser:
             "'defense' column — include 'none' for the undefended baseline row"
         ),
     )
+    run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="resolve and print the execution plan (unit counts per stage) "
+        "without executing anything",
+    )
     _add_common_options(run, suppress=True)
+
+    queue = subparsers.add_parser(
+        "queue",
+        help="distributed campaign queue: submit specs, run leasing workers, "
+        "watch progress, collect results",
+    )
+    queue_actions = queue.add_subparsers(dest="queue_action", required=True)
+
+    def _queue_cache_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--cache-dir",
+            type=Path,
+            default=None,
+            help="shared artefact-cache root the run ledger lives under "
+            "(default: $REPRO_CACHE_DIR or ~/.cache/repro); every worker of "
+            "a run must point at the same directory",
+        )
+
+    queue_submit = queue_actions.add_parser(
+        "submit", help="persist a spec's execution plan as a durable run ledger"
+    )
+    queue_submit.add_argument("spec", type=Path, help="ExperimentSpec JSON file")
+    queue_submit.add_argument(
+        "--run-id",
+        default=None,
+        help="explicit run id (default: content digest of the spec, so "
+        "resubmitting the identical spec targets the identical run)",
+    )
+    _queue_cache_flags(queue_submit)
+
+    queue_work = queue_actions.add_parser(
+        "work", help="lease and execute ready units of a run until it drains"
+    )
+    queue_work.add_argument("run_id")
+    queue_work.add_argument(
+        "--workers", type=int, default=1, help="local worker processes to run"
+    )
+    queue_work.add_argument(
+        "--ttl", type=float, default=30.0,
+        help="lease lifetime in seconds; a worker silent this long is presumed "
+        "dead and its unit is retried",
+    )
+    queue_work.add_argument(
+        "--poll", type=float, default=0.2,
+        help="seconds between scheduling scans when no unit is ready",
+    )
+    queue_work.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts (including broken leases) before a unit is parked as "
+        "failed and its dependents skipped",
+    )
+    queue_work.add_argument(
+        "--backoff", type=float, default=0.5,
+        help="base retry delay in seconds (doubles per attempt)",
+    )
+    queue_work.add_argument(
+        "--max-units", type=int, default=None,
+        help="stop after executing this many units (for draining in slices)",
+    )
+    _queue_cache_flags(queue_work)
+
+    queue_status = queue_actions.add_parser(
+        "status", help="one snapshot of a run's progress"
+    )
+    queue_status.add_argument("run_id")
+    queue_status.add_argument(
+        "--json", action="store_true", help="emit the machine-readable snapshot"
+    )
+    _queue_cache_flags(queue_status)
+
+    queue_watch = queue_actions.add_parser(
+        "watch", help="poll and print run status until the run is terminal"
+    )
+    queue_watch.add_argument("run_id")
+    queue_watch.add_argument("--interval", type=float, default=2.0)
+    queue_watch.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up (exit 1) after this many seconds",
+    )
+    _queue_cache_flags(queue_watch)
+
+    queue_result = queue_actions.add_parser(
+        "result", help="merge unit outcomes into the canonical result set"
+    )
+    queue_result.add_argument("run_id")
+    queue_result.add_argument(
+        "--output-dir", type=Path, default=None,
+        help="write results.csv and spec.json here (same layout as `repro run`)",
+    )
+    queue_result.add_argument(
+        "--allow-partial", action="store_true",
+        help="omit units without results instead of erroring (degraded view "
+        "of a run with parked failures)",
+    )
+    _queue_cache_flags(queue_result)
+
+    queue_list = queue_actions.add_parser(
+        "list", help="list run ledgers under the cache directory"
+    )
+    _queue_cache_flags(queue_list)
 
     store = subparsers.add_parser(
         "store", help="manage the versioned model store (publish/list/inspect/...)"
@@ -582,8 +696,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         raise SystemExit("run requires --spec FILE or --models NAME [NAME ...]")
 
-    engine = _engine_options(args)
     label = f" '{spec.name}'" if spec.name else ""
+    if getattr(args, "dry_run", False):
+        config = spec.config()
+        plan = spec.resolve_plan(config)
+        print(f"dry run{label}: profile={spec.profile} — {plan.describe()}")
+        rows = [[stage, count] for stage, count in plan.stage_counts().items()]
+        rows.append(["total", sum(plan.stage_counts().values())])
+        print(ascii_table(rows, headers=["stage", "units"]))
+        return 0
+
+    engine = _engine_options(args)
     print(
         f"running spec{label}: profile={spec.profile}, "
         f"{len(spec.models)} model(s), jobs={engine['jobs']}"
@@ -614,6 +737,100 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _queue_cache(args: argparse.Namespace):
+    from .eval.engine import ArtifactCache
+
+    return ArtifactCache(args.cache_dir)
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    from .api import ExperimentSpec
+    from .queue import (
+        RunLedger,
+        WorkerOptions,
+        collect_results,
+        render_status,
+        run_status,
+        watch,
+        work,
+    )
+
+    cache = _queue_cache(args)
+    action = args.queue_action
+    if action == "submit":
+        spec = ExperimentSpec.load(args.spec)
+        ledger = RunLedger.submit(spec, cache, run_id=args.run_id)
+        # The bare run id goes first so scripts can `head -n1` it.
+        print(ledger.run_id)
+        stages = ledger.manifest["stages"]
+        print(
+            f"submitted {sum(stages.values())} units "
+            f"({', '.join(f'{v} {k}' for k, v in stages.items() if v)}) "
+            f"under {ledger.root}"
+        )
+        print(f"next: repro queue work {ledger.run_id} --workers N")
+        return 0
+    if action == "work":
+        options = WorkerOptions(
+            ttl_s=args.ttl,
+            poll_s=args.poll,
+            max_attempts=args.max_attempts,
+            backoff_s=args.backoff,
+            max_units=args.max_units,
+        )
+        succeeded = work(cache, args.run_id, workers=args.workers, options=options)
+        ledger = RunLedger.open(cache, args.run_id)
+        print(render_status(run_status(ledger)))
+        return 0 if succeeded else 1
+    if action == "status":
+        ledger = RunLedger.open(cache, args.run_id)
+        status = run_status(ledger)
+        print(json.dumps(status, indent=2) if args.json else render_status(status))
+        return 0
+    if action == "watch":
+        ledger = RunLedger.open(cache, args.run_id)
+        try:
+            status = watch(ledger, interval_s=args.interval, timeout_s=args.timeout)
+        except TimeoutError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        return 0 if status["succeeded"] else 1
+    if action == "result":
+        ledger = RunLedger.open(cache, args.run_id)
+        results = collect_results(ledger, allow_partial=args.allow_partial)
+        print(f"{len(results)} record(s) from run {ledger.run_id}")
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            csv_path = results_to_csv(
+                results.to_rows(), args.output_dir / "results.csv"
+            )
+            (args.output_dir / "spec.json").write_text(
+                ledger.spec.to_json() + "\n"
+            )
+            print(f"wrote {csv_path} and {args.output_dir / 'spec.json'}")
+        return 0
+    if action == "list":
+        runs = RunLedger.list_runs(cache)
+        if not runs:
+            print(f"no runs under {cache.root / 'queue'}")
+            return 0
+        rows = []
+        for run_id in runs:
+            ledger = RunLedger.open(cache, run_id)
+            status = run_status(ledger)
+            rows.append(
+                [
+                    run_id,
+                    f"{status['units_done']}/{status['units_total']}",
+                    "complete" if status["complete"] else "in progress",
+                    len(status["failed_units"]),
+                ]
+            )
+        print(ascii_table(rows, headers=["run", "done", "state", "failed/skipped"]))
+        return 0
+    raise SystemExit(f"unknown queue action '{action}'")  # pragma: no cover
+
+
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -635,6 +852,20 @@ def main(argv: Optional[list] = None) -> int:
         try:
             return _cmd_serve(args)
         except (KeyError, ValueError, OSError) as error:
+            raise SystemExit(f"error: {error}")
+    if command == "queue":
+        from .queue import LedgerError
+
+        try:
+            return _cmd_queue(args)
+        except BrokenPipeError:
+            # Downstream closed early (`repro queue submit | head -n1` is the
+            # documented way to capture the run id) — not an error.  Redirect
+            # stdout to devnull so the interpreter's exit-time flush of the
+            # closed pipe cannot raise again.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
+        except (LedgerError, KeyError, ValueError, OSError) as error:
             raise SystemExit(f"error: {error}")
     if command == "run":
         try:

@@ -1,0 +1,84 @@
+"""Property tests for :func:`repro.eval.engine.cache_key` canonicalisation.
+
+The distributed queue and the artefact cache both rely on cache keys being a
+function of *content*, not of Python representation details: two payloads
+that describe the same experiment must digest identically even if one spells
+a mapping in a different insertion order or a sequence as a tuple instead of
+a list.  Conversely any change in actual content must change the digest.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.engine import cache_key
+
+# JSON-able scalar leaves.  NaN is excluded: NaN != NaN makes "same payload"
+# undefined, and no spec field legitimately holds one.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+
+_payloads = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def _shuffle_dicts(value, rng: random.Random):
+    """Same content, different insertion order (and lists become tuples)."""
+    if isinstance(value, dict):
+        items = [(k, _shuffle_dicts(v, rng)) for k, v in value.items()]
+        rng.shuffle(items)
+        return dict(items)
+    if isinstance(value, list):
+        return tuple(_shuffle_dicts(item, rng) for item in value)
+    return value
+
+
+@given(payload=_payloads, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=200, deadline=None)
+def test_digest_ignores_dict_order_and_sequence_type(payload, seed):
+    shuffled = _shuffle_dicts(payload, random.Random(seed))
+    assert cache_key("prop", payload) == cache_key("prop", shuffled)
+
+
+@given(payload=st.dictionaries(st.text(min_size=1, max_size=8), _scalars, min_size=1))
+@settings(max_examples=100, deadline=None)
+def test_digest_changes_when_a_value_changes(payload):
+    key = next(iter(payload))
+    mutated = dict(payload)
+    mutated[key] = (
+        "mutated" if mutated[key] != "mutated" else "mutated-differently"
+    )
+    assert cache_key("prop", payload) != cache_key("prop", mutated)
+
+
+@given(payload=_payloads)
+@settings(max_examples=100, deadline=None)
+def test_digest_is_kind_namespaced_and_stable(payload):
+    assert cache_key("kind-a", payload) == cache_key("kind-a", payload)
+    assert cache_key("kind-a", payload) != cache_key("kind-b", payload)
+
+
+def test_known_equivalences():
+    # The concrete cases the queue depends on, spelled out.
+    assert cache_key("k", {"a": 1, "b": (1, 2)}) == cache_key(
+        "k", {"b": [1, 2], "a": 1}
+    )
+    assert cache_key("k", {"nested": {"y": 2.0, "x": 1.0}}) == cache_key(
+        "k", {"nested": {"x": 1.0, "y": 2.0}}
+    )
+    assert cache_key("k", {"a": 1}) != cache_key("k", {"a": 2})
+    assert cache_key("k", [1, 2]) == cache_key("k", (1, 2))

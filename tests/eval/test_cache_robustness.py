@@ -1,0 +1,88 @@
+"""Corrupt/truncated cache artefacts must read as misses, not crashes.
+
+The cache's own writes are atomic, but a shared cache directory can still
+accumulate damaged files from outside (partial rsync between hosts, disk
+errors, non-atomic foreign writers).  The contract: a corrupt artefact is
+deleted on first read and the lookup reports a miss, so the caller
+recomputes once and the cache heals itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.engine import ArtifactCache
+
+DIGEST = "ab" + "0" * 62
+
+
+@pytest.fixture
+def cache(tmp_path) -> ArtifactCache:
+    return ArtifactCache(tmp_path / "cache")
+
+
+def _truncate(path, keep=3) -> None:
+    path.write_bytes(path.read_bytes()[:keep])
+
+
+class TestCorruptPickle:
+    def test_truncated_pickle_is_miss_and_deleted(self, cache):
+        cache.put_pickle("campaign", DIGEST, {"value": 42})
+        path = cache.path_for("campaign", DIGEST, "pkl")
+        _truncate(path)
+        assert cache.get_pickle("campaign", DIGEST) is None
+        assert not path.exists()
+        assert cache.stats.misses == 1
+
+    def test_garbage_pickle_is_miss_and_deleted(self, cache):
+        path = cache.path_for("campaign", DIGEST, "pkl")
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle at all")
+        assert cache.get_pickle("campaign", DIGEST) is None
+        assert not path.exists()
+
+    def test_recompute_after_corruption_round_trips(self, cache):
+        cache.put_pickle("campaign", DIGEST, {"value": 1})
+        _truncate(cache.path_for("campaign", DIGEST, "pkl"))
+        assert cache.get_pickle("campaign", DIGEST) is None
+        # The caller recomputes and stores again: the cache has healed.
+        cache.put_pickle("campaign", DIGEST, {"value": 1})
+        assert cache.get_pickle("campaign", DIGEST) == {"value": 1}
+        assert cache.stats.hits == 1
+
+
+class TestCorruptArrays:
+    def test_truncated_npz_is_miss_and_deleted(self, cache):
+        cache.put_arrays("model", DIGEST, {"w": np.arange(32, dtype=np.float64)})
+        path = cache.path_for("model", DIGEST, "npz")
+        _truncate(path, keep=10)
+        assert cache.get_arrays("model", DIGEST) is None
+        assert not path.exists()
+        assert cache.stats.misses == 1
+
+    def test_valid_npz_still_hits(self, cache):
+        arrays = {"w": np.arange(8, dtype=np.float64)}
+        cache.put_arrays("model", DIGEST, arrays)
+        loaded = cache.get_arrays("model", DIGEST)
+        np.testing.assert_array_equal(loaded["w"], arrays["w"])
+
+
+class TestCorruptEither:
+    def test_corrupt_npz_falls_through_to_pickle(self, cache):
+        cache.put_arrays("model", DIGEST, {"w": np.zeros(4)})
+        cache.put_pickle("model", DIGEST, {"fallback": True})
+        _truncate(cache.path_for("model", DIGEST, "npz"))
+        hit = cache.get_either("model", DIGEST)
+        assert hit == ("pickle", {"fallback": True})
+        assert not cache.path_for("model", DIGEST, "npz").exists()
+        assert cache.stats.hits == 1 and cache.stats.misses == 0
+
+    def test_both_corrupt_is_single_miss(self, cache):
+        cache.put_arrays("model", DIGEST, {"w": np.zeros(4)})
+        cache.put_pickle("model", DIGEST, {"fallback": True})
+        _truncate(cache.path_for("model", DIGEST, "npz"))
+        _truncate(cache.path_for("model", DIGEST, "pkl"))
+        assert cache.get_either("model", DIGEST) is None
+        assert cache.stats.misses == 1
+        assert not cache.path_for("model", DIGEST, "pkl").exists()

@@ -1,0 +1,229 @@
+"""Tests for the durable run ledger: manifests, states, leases, results."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.eval.engine import ArtifactCache
+from repro.queue import (
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_PENDING,
+    STATE_SKIPPED,
+    LedgerError,
+    RunLedger,
+    queue_root,
+)
+
+
+@pytest.fixture
+def spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        models=("KNN",),
+        profile="quick",
+        devices=("OP3",),
+        attack_methods=("FGSM",),
+        epsilons=(0.1,),
+        phi_percents=(10.0,),
+    )
+
+
+@pytest.fixture
+def cache(tmp_path) -> ArtifactCache:
+    return ArtifactCache(tmp_path / "cache")
+
+
+class TestSubmit:
+    def test_creates_manifest_and_directories(self, spec, cache):
+        ledger = RunLedger.submit(spec, cache)
+        assert (ledger.root / "manifest.json").is_file()
+        for sub in ("state", "leases", "results", "workers"):
+            assert (ledger.root / sub).is_dir()
+        manifest = json.loads((ledger.root / "manifest.json").read_text())
+        assert manifest["run_id"] == ledger.run_id
+        assert manifest["spec"] == spec.to_dict()
+        assert manifest["stages"] == {
+            "campaign": 1,
+            "train": 1,
+            "eval": 1,
+            "scenario": 0,
+        }
+
+    def test_run_id_is_content_addressed(self, spec, cache, tmp_path):
+        ledger = RunLedger.submit(spec, cache)
+        assert ledger.run_id == RunLedger.derive_run_id(spec)
+        # Same spec, different cache -> same id; different spec -> different.
+        other_cache = ArtifactCache(tmp_path / "other")
+        assert RunLedger.submit(spec, other_cache).run_id == ledger.run_id
+        bigger = ExperimentSpec(models=("KNN", "DNN"), profile="quick")
+        assert RunLedger.derive_run_id(bigger) != ledger.run_id
+
+    def test_resubmit_same_run_errors(self, spec, cache):
+        RunLedger.submit(spec, cache)
+        with pytest.raises(LedgerError, match="already exists"):
+            RunLedger.submit(spec, cache)
+
+    def test_explicit_run_id_and_validation(self, spec, cache):
+        ledger = RunLedger.submit(spec, cache, run_id="my-run")
+        assert ledger.root == queue_root(cache) / "my-run"
+        with pytest.raises(LedgerError, match="invalid run id"):
+            RunLedger.submit(spec, cache, run_id="bad/../id")
+
+    def test_manifest_units_carry_dependency_edges(self, spec, cache):
+        ledger = RunLedger.submit(spec, cache)
+        units = ledger.units
+        by_kind = {entry.kind: entry for entry in units}
+        assert by_kind["campaign"].deps == ()
+        assert by_kind["train"].deps == (by_kind["campaign"].id,)
+        assert by_kind["eval"].deps == (by_kind["train"].id,)
+        # ids are content-addressed: <kind>-<12 hex chars>
+        for entry in units:
+            kind, _, digest = entry.id.partition("-")
+            assert kind == entry.kind
+            assert len(digest) == 12
+
+    def test_open_unknown_run_errors(self, spec, cache):
+        RunLedger.submit(spec, cache, run_id="known")
+        with pytest.raises(LedgerError, match="known"):
+            RunLedger.open(cache, "nope")
+
+    def test_plan_rebuild_matches_manifest(self, spec, cache):
+        run_id = RunLedger.submit(spec, cache).run_id
+        reopened = RunLedger.open(cache, run_id)
+        plan_units = reopened.plan_units_by_id()
+        assert set(plan_units) == {entry.id for entry in reopened.units}
+
+    def test_plan_rejects_version_drift(self, spec, cache, monkeypatch):
+        run_id = RunLedger.submit(spec, cache).run_id
+        # Simulate a worker running different code: perturb a manifest id.
+        reopened = RunLedger.open(cache, run_id)
+        manifest = reopened.manifest
+        manifest["units"][0]["id"] = "campaign-000000000000"
+        with pytest.raises(LedgerError, match="does not match"):
+            reopened.plan
+
+
+class TestUnitState:
+    def test_absent_state_file_is_pending(self, spec, cache):
+        ledger = RunLedger.submit(spec, cache)
+        state = ledger.unit_state(ledger.units[0].id)
+        assert state.state == STATE_PENDING
+        assert state.attempts == 0
+        assert not state.terminal
+
+    def test_mark_done_and_skipped(self, spec, cache):
+        ledger = RunLedger.submit(spec, cache)
+        uid = ledger.units[0].id
+        ledger.mark_done(uid, "w1")
+        assert ledger.unit_state(uid).state == STATE_DONE
+        # skipped never downgrades a terminal unit
+        ledger.mark_skipped(uid, "dep failed")
+        assert ledger.unit_state(uid).state == STATE_DONE
+
+    def test_failed_attempts_backoff_then_park(self, spec, cache):
+        ledger = RunLedger.submit(spec, cache)
+        uid = ledger.units[0].id
+        outcome = ledger.record_failed_attempt(
+            uid, "w1", "boom", max_attempts=3, backoff_s=10.0
+        )
+        state = ledger.unit_state(uid)
+        assert outcome == STATE_PENDING
+        assert state.attempts == 1
+        assert state.not_before_unix > time.time() + 5.0  # backoff scheduled
+        outcome = ledger.record_failed_attempt(
+            uid, "w1", "boom", max_attempts=3, backoff_s=10.0
+        )
+        assert outcome == STATE_PENDING
+        outcome = ledger.record_failed_attempt(
+            uid, "w1", "boom", max_attempts=3, backoff_s=10.0
+        )
+        state = ledger.unit_state(uid)
+        assert outcome == STATE_FAILED
+        assert state.state == STATE_FAILED
+        assert state.attempts == 3
+        assert "boom" in state.error
+
+
+class TestLeases:
+    def test_acquire_is_mutually_exclusive(self, spec, cache):
+        ledger = RunLedger.submit(spec, cache)
+        uid = ledger.units[0].id
+        assert ledger.acquire_lease(uid, "w1", ttl_s=60.0)
+        assert not ledger.acquire_lease(uid, "w2", ttl_s=60.0)
+        lease = ledger.read_lease(uid)
+        assert lease.worker == "w1"
+        assert not lease.expired()
+
+    def test_renew_extends_only_for_holder(self, spec, cache):
+        ledger = RunLedger.submit(spec, cache)
+        uid = ledger.units[0].id
+        ledger.acquire_lease(uid, "w1", ttl_s=60.0)
+        before = ledger.read_lease(uid).expires_unix
+        time.sleep(0.02)
+        assert ledger.renew_lease(uid, "w1", ttl_s=120.0)
+        assert ledger.read_lease(uid).expires_unix > before
+        assert ledger.read_lease(uid).renewals == 1
+        assert not ledger.renew_lease(uid, "w2", ttl_s=120.0)
+
+    def test_release_only_for_holder(self, spec, cache):
+        ledger = RunLedger.submit(spec, cache)
+        uid = ledger.units[0].id
+        ledger.acquire_lease(uid, "w1", ttl_s=60.0)
+        ledger.release_lease(uid, "w2")  # not the holder: no-op
+        assert ledger.read_lease(uid) is not None
+        ledger.release_lease(uid, "w1")
+        assert ledger.read_lease(uid) is None
+        assert ledger.acquire_lease(uid, "w2", ttl_s=60.0)
+
+    def test_expired_lease_break_consumes_attempt(self, spec, cache):
+        ledger = RunLedger.submit(spec, cache)
+        uid = ledger.units[0].id
+        ledger.acquire_lease(uid, "dead-worker", ttl_s=0.0)  # expires instantly
+        outcome = ledger.record_expired_attempt(
+            uid, "breaker", max_attempts=3, backoff_s=0.0
+        )
+        assert outcome == STATE_PENDING
+        assert ledger.read_lease(uid) is None
+        state = ledger.unit_state(uid)
+        assert state.attempts == 1
+        assert "dead-worker" in state.error
+
+    def test_live_lease_is_not_breakable(self, spec, cache):
+        ledger = RunLedger.submit(spec, cache)
+        uid = ledger.units[0].id
+        ledger.acquire_lease(uid, "w1", ttl_s=60.0)
+        assert ledger.record_expired_attempt(uid, "w2", 3, 0.0) is None
+        assert ledger.read_lease(uid).worker == "w1"
+
+
+class TestResultsAndWorkers:
+    def test_result_round_trip(self, spec, cache):
+        ledger = RunLedger.submit(spec, cache)
+        uid = ledger.units[0].id
+        assert ledger.read_result(uid) is None
+        document = {"stats": [{"mean": 1.25, "count": 4}]}
+        ledger.write_result(uid, document)
+        assert ledger.read_result(uid) == document
+
+    def test_worker_records(self, spec, cache):
+        ledger = RunLedger.submit(spec, cache)
+        ledger.record_worker("host:1", status="running", unit="u1")
+        ledger.record_worker("host:2", status="idle")
+        workers = {w["worker"]: w for w in ledger.workers()}
+        assert workers["host:1"]["status"] == "running"
+        assert workers["host:2"]["status"] == "idle"
+
+    def test_is_complete(self, spec, cache):
+        ledger = RunLedger.submit(spec, cache)
+        assert not ledger.is_complete()
+        for entry in ledger.units[:-1]:
+            ledger.mark_done(entry.id, "w1")
+        assert not ledger.is_complete()
+        ledger.mark_skipped(ledger.units[-1].id, "because")
+        assert ledger.is_complete()  # terminal, though degraded
+        states = ledger.states()
+        assert states[ledger.units[-1].id].state == STATE_SKIPPED

@@ -297,3 +297,96 @@ class TestRunSubcommand:
         spec_path.write_text(json.dumps(self.SPEC))
         with pytest.raises(SystemExit, match="--scenario"):
             main(["run", "--spec", str(spec_path), "--scenario", "drift"])
+
+    def test_run_dry_run_prints_plan_without_executing(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(self.SPEC))
+        out_dir = tmp_path / "out"
+        exit_code = main(
+            ["run", "--spec", str(spec_path), "--dry-run", "--output-dir", str(out_dir)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out
+        # KNN on one building/device: 1 campaign, 1 train, 1 eval unit.
+        assert "1 campaign / 1 train / 1 eval / 0 scenario units" in out
+        assert "total" in out
+        assert not out_dir.exists()  # nothing ran, nothing written
+
+
+class TestQueueCommand:
+    SPEC = TestRunSubcommand.SPEC
+
+    def _submit(self, tmp_path, capsys) -> str:
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(self.SPEC))
+        assert (
+            main(
+                ["queue", "submit", str(spec_path), "--cache-dir", str(tmp_path / "c")]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        run_id = out.splitlines()[0].strip()
+        assert run_id.startswith("run-")
+        assert "submitted 3 units" in out
+        return run_id
+
+    def test_submit_work_status_result(self, capsys, tmp_path):
+        run_id = self._submit(tmp_path, capsys)
+        cache_flag = ["--cache-dir", str(tmp_path / "c")]
+
+        assert main(["queue", "work", run_id, "--poll", "0.01"] + cache_flag) == 0
+        assert "run complete" in capsys.readouterr().out
+
+        assert main(["queue", "status", run_id, "--json"] + cache_flag) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["complete"] and status["succeeded"]
+        assert status["units_done"] == 3
+
+        out_dir = tmp_path / "out"
+        assert (
+            main(["queue", "result", run_id, "--output-dir", str(out_dir)] + cache_flag)
+            == 0
+        )
+        assert "1 record(s)" in capsys.readouterr().out
+        assert (out_dir / "results.csv").exists()
+        assert (out_dir / "spec.json").exists()
+
+        assert main(["queue", "list"] + cache_flag) == 0
+        assert run_id in capsys.readouterr().out
+
+    def test_resubmit_errors_cleanly(self, capsys, tmp_path):
+        run_id = self._submit(tmp_path, capsys)
+        spec_path = tmp_path / "spec.json"
+        with pytest.raises(SystemExit, match="already exists"):
+            main(
+                ["queue", "submit", str(spec_path), "--cache-dir", str(tmp_path / "c")]
+            )
+        # ... unless a fresh run id forks it explicitly.
+        assert (
+            main(
+                [
+                    "queue", "submit", str(spec_path),
+                    "--run-id", "fork-1",
+                    "--cache-dir", str(tmp_path / "c"),
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out.splitlines()[0] == "fork-1"
+        assert run_id != "fork-1"
+
+    def test_unknown_run_errors_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no run"):
+            main(
+                ["queue", "status", "run-missing", "--cache-dir", str(tmp_path / "c")]
+            )
+
+    def test_result_before_completion(self, capsys, tmp_path):
+        run_id = self._submit(tmp_path, capsys)
+        cache_flag = ["--cache-dir", str(tmp_path / "c")]
+        with pytest.raises(SystemExit, match="no result"):
+            main(["queue", "result", run_id] + cache_flag)
+        assert main(["queue", "result", run_id, "--allow-partial"] + cache_flag) == 0
+        assert "0 record(s)" in capsys.readouterr().out
