@@ -1,0 +1,350 @@
+#!/usr/bin/env python
+"""Op-level benchmark for the numeric kernels: layers, losses, attacks.
+
+Measures forward/backward throughput (elements per second) for the hot
+numeric primitives the evaluation grid spends its time in — dense and
+convolutional layers, the classification losses, and the gradient attacks —
+and cross-checks the vectorized implementations against straightforward
+per-position / per-row reference loops for **bitwise** agreement.
+
+The identity checks are the point: every kernel here used to be a Python
+loop, and the vectorized replacements are only allowed to ship because they
+produce the same bits.  The throughput numbers exist so a future change that
+quietly re-introduces a per-element loop fails loudly in CI::
+
+    python benchmarks/bench_core.py
+    python benchmarks/bench_core.py --check-against BENCH_core.json --tolerance 0.4
+
+Results are written to ``BENCH_core.json`` (override with ``--output``).
+Exit status is non-zero when any identity check fails, or — with
+``--check-against`` — when any op's throughput drops below
+``tolerance * baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without installing
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.attacks.base import GradientProvider, ThreatModel  # noqa: E402
+from repro.attacks.fgsm import FGSMAttack  # noqa: E402
+from repro.attacks.mim import MIMAttack  # noqa: E402
+from repro.attacks.pgd import PGDAttack  # noqa: E402
+from repro.nn.layers import Conv1d, Linear, MaxPool1d, ReLU  # noqa: E402
+from repro.nn.losses import CrossEntropyLoss, MSELoss  # noqa: E402
+from repro.nn.tensor import Tensor  # noqa: E402
+
+#: The paper's quick-profile geometry: 165 visible APs, 61 reference points.
+NUM_APS = 165
+NUM_CLASSES = 61
+BATCH = 256
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (the pre-vectorization loops)
+# ----------------------------------------------------------------------
+def conv1d_loop(layer: Conv1d, inputs: Tensor) -> Tensor:
+    """Per-output-position Conv1d, the implementation the gather replaced."""
+    batch, channels, length = inputs.shape
+    if layer.padding > 0:
+        left = Tensor(np.zeros((batch, channels, layer.padding)))
+        right = Tensor(np.zeros((batch, channels, layer.padding)))
+        inputs = Tensor.concatenate([left, inputs, right], axis=2)
+        length = length + 2 * layer.padding
+    out_length = (length - layer.kernel_size) // layer.stride + 1
+    columns = []
+    for position in range(out_length):
+        start = position * layer.stride
+        patch = inputs[:, :, start : start + layer.kernel_size]
+        columns.append(patch.reshape(batch, channels * layer.kernel_size))
+    stacked = Tensor.stack(columns, axis=1)
+    output = stacked.matmul(layer.weight) + layer.bias
+    return output.transpose(0, 2, 1)
+
+
+def maxpool1d_loop(layer: MaxPool1d, inputs: Tensor) -> Tensor:
+    """Per-window MaxPool1d reference."""
+    batch, channels, length = inputs.shape
+    out_length = (length - layer.kernel_size) // layer.stride + 1
+    columns = []
+    for position in range(out_length):
+        start = position * layer.stride
+        window = inputs[:, :, start : start + layer.kernel_size]
+        columns.append(window.max(axis=2))
+    return Tensor.stack(columns, axis=2)
+
+
+class _QuadraticVictim:
+    """Deterministic :class:`GradientProvider`: grad of ½‖x − aₗ‖²."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.anchors = rng.random((NUM_CLASSES, NUM_APS))
+
+    def loss_gradient(self, features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        features = np.atleast_2d(features)
+        labels = np.atleast_1d(labels)
+        return features - self.anchors[labels]
+
+
+def _attack_rowwise(attack, features, labels, victim) -> np.ndarray:
+    """Per-fingerprint attack loop — the transport the batched path replaced."""
+    rows = [
+        attack.perturb(features[i], labels[i], victim)
+        for i in range(features.shape[0])
+    ]
+    return np.stack(rows, axis=0)
+
+
+# ----------------------------------------------------------------------
+# Identity checks
+# ----------------------------------------------------------------------
+def _grads(output: Tensor, *leaves: Tensor):
+    output.sum().backward()
+    return [leaf.grad.copy() for leaf in leaves]
+
+
+def _bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return a.shape == b.shape and bool(
+        np.all(a.view(np.uint64) == b.view(np.uint64))
+    )
+
+
+def run_identity_checks(rng: np.random.Generator) -> Dict[str, bool]:
+    checks: Dict[str, bool] = {}
+
+    # Conv1d: overlapping windows (stride < kernel) is the hard case — the
+    # backward scatter must accumulate window gradients in loop order.
+    for label, kwargs in (
+        ("conv1d_strided", dict(kernel_size=5, stride=2, padding=2)),
+        ("conv1d_overlap", dict(kernel_size=3, stride=1, padding=1)),
+    ):
+        layer = Conv1d(2, 4, rng=np.random.default_rng(7), **kwargs)
+        data = rng.standard_normal((8, 2, 40))
+        fast_in = Tensor(data.copy(), requires_grad=True)
+        loop_in = Tensor(data.copy(), requires_grad=True)
+        fast_out = layer(fast_in)
+        fast_grads = _grads(fast_out, fast_in, layer.weight, layer.bias)
+        layer.zero_grad()
+        loop_out = conv1d_loop(layer, loop_in)
+        loop_grads = _grads(loop_out, loop_in, layer.weight, layer.bias)
+        layer.zero_grad()
+        checks[label] = _bitwise_equal(fast_out.data, loop_out.data) and all(
+            _bitwise_equal(f, s) for f, s in zip(fast_grads, loop_grads)
+        )
+
+    # MaxPool1d: repeated values force tie-breaking through the same path.
+    pool = MaxPool1d(2)
+    data = rng.integers(-3, 4, size=(8, 4, 40)).astype(np.float64)
+    fast_in = Tensor(data.copy(), requires_grad=True)
+    loop_in = Tensor(data.copy(), requires_grad=True)
+    fast_out = pool(fast_in)
+    (fast_grad,) = _grads(fast_out, fast_in)
+    loop_out = maxpool1d_loop(pool, loop_in)
+    (loop_grad,) = _grads(loop_out, loop_in)
+    checks["maxpool1d"] = _bitwise_equal(fast_out.data, loop_out.data) and _bitwise_equal(
+        fast_grad, loop_grad
+    )
+
+    # Attacks: one batched perturb == per-fingerprint loop, bit for bit.
+    victim = _QuadraticVictim(rng)
+    features = rng.random((32, NUM_APS))
+    labels = rng.integers(0, NUM_CLASSES, size=32)
+    threat = ThreatModel(epsilon=0.3, phi_percent=50.0, seed=3)
+    # PGD's random start draws ONE seeded noise stream over the whole batch,
+    # so a per-row loop legitimately sees different draws — the batched-vs-loop
+    # identity only holds for the deterministic iteration, which is what the
+    # vectorization changed.  random_start stays on in the throughput section.
+    for name, attack in (
+        ("fgsm", FGSMAttack(threat)),
+        ("pgd", PGDAttack(threat, random_start=False)),
+        ("mim", MIMAttack(threat)),
+    ):
+        batched = attack.perturb(features, labels, victim)
+        rowwise = _attack_rowwise(attack, features, labels, victim)
+        checks[f"attack_{name}_batched"] = _bitwise_equal(batched, rowwise)
+    return checks
+
+
+# ----------------------------------------------------------------------
+# Throughput
+# ----------------------------------------------------------------------
+def _throughput(fn: Callable[[], None], elements: int, min_time_s: float = 0.1) -> Dict[str, float]:
+    """Best elements/second over repeated runs totalling ``min_time_s``."""
+    fn()  # warm-up (allocations, caches)
+    best = float("inf")
+    spent = 0.0
+    iterations = 0
+    while spent < min_time_s or iterations < 3:
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        spent += elapsed
+        iterations += 1
+    return {
+        "elements": elements,
+        "iterations": iterations,
+        "best_s": round(best, 6),
+        "elements_per_s": round(elements / max(best, 1e-12), 1),
+    }
+
+
+def run_throughput(rng: np.random.Generator) -> Dict[str, Dict[str, float]]:
+    ops: Dict[str, Dict[str, float]] = {}
+
+    features = rng.random((BATCH, NUM_APS))
+    labels = rng.integers(0, NUM_CLASSES, size=BATCH)
+
+    linear = Linear(NUM_APS, 128)
+    relu = ReLU()
+
+    def linear_fwd_bwd() -> None:
+        x = Tensor(features, requires_grad=True)
+        relu(linear(x)).sum().backward()
+        linear.zero_grad()
+
+    ops["linear_fwd_bwd"] = _throughput(linear_fwd_bwd, BATCH * NUM_APS)
+
+    conv = Conv1d(1, 8, kernel_size=5, stride=2, padding=2)
+    conv_input = features.reshape(BATCH, 1, NUM_APS)
+
+    def conv_fwd_bwd() -> None:
+        x = Tensor(conv_input, requires_grad=True)
+        conv(x).sum().backward()
+        conv.zero_grad()
+
+    ops["conv1d_fwd_bwd"] = _throughput(conv_fwd_bwd, BATCH * NUM_APS)
+
+    pool = MaxPool1d(2)
+
+    def pool_fwd_bwd() -> None:
+        x = Tensor(conv_input, requires_grad=True)
+        pool(x).sum().backward()
+
+    ops["maxpool1d_fwd_bwd"] = _throughput(pool_fwd_bwd, BATCH * NUM_APS)
+
+    logits_data = rng.standard_normal((BATCH, NUM_CLASSES))
+    ce = CrossEntropyLoss()
+
+    def ce_fwd_bwd() -> None:
+        logits = Tensor(logits_data, requires_grad=True)
+        ce(logits, labels).backward()
+
+    ops["cross_entropy_fwd_bwd"] = _throughput(ce_fwd_bwd, BATCH * NUM_CLASSES)
+
+    mse = MSELoss()
+    target = rng.standard_normal((BATCH, NUM_CLASSES))
+
+    def mse_fwd_bwd() -> None:
+        predictions = Tensor(logits_data, requires_grad=True)
+        mse(predictions, target).backward()
+
+    ops["mse_fwd_bwd"] = _throughput(mse_fwd_bwd, BATCH * NUM_CLASSES)
+
+    victim = _QuadraticVictim(rng)
+    threat = ThreatModel(epsilon=0.3, phi_percent=50.0, seed=3)
+    for name, attack in (
+        ("fgsm", FGSMAttack(threat)),
+        ("pgd", PGDAttack(threat)),
+        ("mim", MIMAttack(threat)),
+    ):
+        ops[f"attack_{name}"] = _throughput(
+            lambda attack=attack: attack.perturb(features, labels, victim),
+            BATCH * NUM_APS,
+        )
+    return ops
+
+
+def run_benchmark(output: Optional[Path] = None) -> Dict[str, object]:
+    rng = np.random.default_rng(0)
+    print("identity checks (vectorized vs loop reference, bitwise) ...", flush=True)
+    identity = run_identity_checks(rng)
+    for name, passed in identity.items():
+        print(f"  {name}: {'ok' if passed else 'MISMATCH'}")
+    print("throughput ...", flush=True)
+    ops = run_throughput(rng)
+    for name, record in ops.items():
+        print(f"  {name}: {record['elements_per_s']:.3e} elem/s")
+    report: Dict[str, object] = {
+        "benchmark": "core",
+        "version": __version__,
+        "created_unix": time.time(),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "batch": BATCH,
+        "num_aps": NUM_APS,
+        "num_classes": NUM_CLASSES,
+        "identity": identity,
+        "ops": ops,
+    }
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_core.json")
+    parser.add_argument(
+        "--check-against",
+        type=Path,
+        default=None,
+        help="previous BENCH_core.json to compare throughput against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.4,
+        help="fail ops slower than tolerance * baseline throughput (CI machines "
+        "vary widely, so the default is deliberately loose)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.output)
+    failures = [name for name, passed in report["identity"].items() if not passed]
+    if failures:
+        print(f"FAIL: identity checks diverged: {failures}", file=sys.stderr)
+        return 1
+    if args.check_against is not None and args.check_against.is_file():
+        baseline = json.loads(args.check_against.read_text())
+        regressions = []
+        for name, record in report["ops"].items():
+            reference = baseline.get("ops", {}).get(name)
+            if reference is None:
+                continue
+            floor = args.tolerance * reference["elements_per_s"]
+            if record["elements_per_s"] < floor:
+                regressions.append(
+                    f"{name}: {record['elements_per_s']:.3e} < "
+                    f"{args.tolerance} * {reference['elements_per_s']:.3e}"
+                )
+        if regressions:
+            print("FAIL: throughput regressions:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

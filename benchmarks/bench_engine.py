@@ -10,6 +10,10 @@ Times the quick-profile evaluation grid through
 ``parallel_cold``
     ``jobs=N`` (N = ``--jobs``, default ``min(4, cpu_count)``), no cache —
     isolates the process-pool speedup.
+``thread_cold``
+    ``jobs=N`` with ``executor="thread"``, no cache — the thread-pool
+    transport (no pickling at all; numpy releases the GIL in the heavy
+    kernels).
 ``cached_cold``
     ``jobs=1`` against a fresh cache directory — measures the one-time cost
     of populating the on-disk artefact cache.
@@ -25,9 +29,13 @@ performance trajectory to compare against::
     python benchmarks/bench_engine.py
     python benchmarks/bench_engine.py --models KNN DNN CALLOC --jobs 8
 
-Exit status is non-zero when results diverge between modes or when the best
+Exit status is non-zero when results diverge between modes, when the best
 speedup (parallel or warm-cache) falls below ``--min-speedup`` (default 2.0;
-pass 0 to disable the gate).
+pass 0 to disable the gate), or — on machines with at least two CPUs —
+when the process-pool path fails to beat serial by ``--min-parallel``
+(default 1.5).  On a single-core box parallel execution cannot win by
+construction, so the parallel gate degrades to a no-pessimisation check:
+the pool overhead must stay under ``1/min-parallel`` of the serial time.
 """
 
 from __future__ import annotations
@@ -53,10 +61,10 @@ DEFAULT_MODELS = ("KNN", "DNN", "AdvLoc", "WiDeep")
 
 
 def _time_run(
-    spec: ExperimentSpec, jobs: int, cache: object
+    spec: ExperimentSpec, jobs: int, cache: object, executor: str = "process"
 ) -> tuple:
     start = time.perf_counter()
-    results = run_experiment(spec, jobs=jobs, cache=cache)
+    results = run_experiment(spec, jobs=jobs, cache=cache, executor=executor)
     elapsed = time.perf_counter() - start
     return elapsed, results.to_records()
 
@@ -100,6 +108,12 @@ def run_benchmark(
     timings["parallel_cold"], records["parallel_cold"] = _time_run(spec, jobs, False)
     print(f"  {timings['parallel_cold']:.2f}s")
 
+    print(f"thread_cold   (jobs={jobs}, threads, no cache) ...", flush=True)
+    timings["thread_cold"], records["thread_cold"] = _time_run(
+        spec, jobs, False, executor="thread"
+    )
+    print(f"  {timings['thread_cold']:.2f}s")
+
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
         print("cached_cold   (jobs=1, fresh cache) ...", flush=True)
         timings["cached_cold"], records["cached_cold"] = _time_run(spec, 1, cache_dir)
@@ -113,6 +127,7 @@ def run_benchmark(
     identical = {mode: rows == reference for mode, rows in records.items()}
     speedups = {
         "parallel_vs_serial": timings["serial_cold"] / max(timings["parallel_cold"], 1e-9),
+        "thread_vs_serial": timings["serial_cold"] / max(timings["thread_cold"], 1e-9),
         "warm_cache_vs_serial": timings["serial_cold"] / max(timings["cached_warm"], 1e-9),
         "cached_cold_overhead": timings["cached_cold"] / max(timings["serial_cold"], 1e-9),
     }
@@ -155,6 +170,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="fail unless max(parallel, warm-cache) speedup reaches "
                         "this factor (0 disables the gate)")
+    parser.add_argument("--min-parallel", type=float, default=1.5,
+                        help="with >=2 CPUs, fail unless the process pool beats "
+                        "serial by this factor; with 1 CPU, fail if pool overhead "
+                        "pushes parallel past 1/this of serial (0 disables)")
     args = parser.parse_args(argv)
 
     report = run_benchmark(args.models, args.profile, args.jobs, args.output)
@@ -170,6 +189,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 1
+    parallel = report["speedups"]["parallel_vs_serial"]
+    cpus = report["machine"]["cpu_count"] or 1
+    if args.min_parallel > 0:
+        if cpus >= 2 and parallel < args.min_parallel:
+            print(
+                f"FAIL: parallel speedup {parallel:.2f}x below required "
+                f"{args.min_parallel:.2f}x on {cpus} CPUs",
+                file=sys.stderr,
+            )
+            return 1
+        if cpus < 2 and parallel < 1.0 / args.min_parallel:
+            # One core: a pool cannot win, but cheap transport means it must
+            # not lose badly either — this is the regression this benchmark
+            # exists to catch (parallel used to run *slower* than serial).
+            print(
+                f"FAIL: parallel ran {1.0 / max(parallel, 1e-9):.2f}x slower than "
+                f"serial on a single CPU (transport overhead regression)",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

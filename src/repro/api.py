@@ -425,6 +425,7 @@ def run_experiment(
     config: Optional[EvaluationConfig] = None,
     jobs: int = 1,
     cache: object = None,
+    executor: str = "process",
 ) -> ResultSet:
     """Execute a declarative experiment spec and return its results.
 
@@ -433,13 +434,17 @@ def run_experiment(
     :class:`ExperimentRunner` via :meth:`ExperimentRunner.run`).
 
     ``jobs`` fans independent work units (campaign simulation, model
-    training, attacked scoring) out over that many worker processes;
-    ``cache`` enables the on-disk artefact cache (``True``, a directory
-    path, or an :class:`~repro.eval.engine.ArtifactCache`).  Results are
-    bit-identical for every combination of ``jobs`` and cache state.
+    training, attacked scoring) out over that many workers — processes by
+    default, or threads with ``executor="thread"`` (cheaper startup, best
+    when numpy releases the GIL for most of the work).  ``cache`` enables
+    the on-disk artefact cache (``True``, a directory path, or an
+    :class:`~repro.eval.engine.ArtifactCache`).  Results are bit-identical
+    for every combination of ``jobs``, ``executor`` and cache state.
     """
     spec.validate()
-    runner = ExperimentRunner(config or spec.config(), jobs=jobs, cache=cache)
+    runner = ExperimentRunner(
+        config or spec.config(), jobs=jobs, cache=cache, executor=executor
+    )
     return runner.run(spec)
 
 

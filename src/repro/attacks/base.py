@@ -166,6 +166,23 @@ class Attack(abc.ABC):
         """
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _as_batch(
+        features: np.ndarray, labels: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray, bool]":
+        """Promote a single 1-D fingerprint to a ``(1, num_aps)`` batch.
+
+        Attacks are written against batched inputs; a caller probing one
+        fingerprint at a time (e.g. the serving guard) should not have to
+        reshape by hand.  Returns the batched views plus a flag telling the
+        caller to squeeze the leading axis back off the result.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.ndim == 1:
+            return features[None, :], np.atleast_1d(labels), True
+        return features, labels, False
+
     def _resolve_mask(self, features: np.ndarray, target_mask: Optional[np.ndarray]) -> np.ndarray:
         num_aps = features.shape[1]
         if target_mask is None:

@@ -36,11 +36,11 @@ class FGSMAttack(Attack):
         victim: GradientProvider,
         target_mask: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        features = np.asarray(features, dtype=np.float64)
-        labels = np.asarray(labels, dtype=np.int64)
+        features, labels, squeeze = self._as_batch(features, labels)
         if self.threat_model.is_null:
-            return features.copy()
+            return features[0].copy() if squeeze else features.copy()
         mask = self._resolve_mask(features, target_mask)
         gradient = victim.loss_gradient(features, labels)
         perturbation = self.threat_model.epsilon * np.sign(gradient) * mask
-        return self._clip(features + perturbation)
+        adversarial = self._clip(features + perturbation)
+        return adversarial[0] if squeeze else adversarial

@@ -48,10 +48,9 @@ class MIMAttack(Attack):
         victim: GradientProvider,
         target_mask: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        features = np.asarray(features, dtype=np.float64)
-        labels = np.asarray(labels, dtype=np.int64)
+        features, labels, squeeze = self._as_batch(features, labels)
         if self.threat_model.is_null:
-            return features.copy()
+            return features[0].copy() if squeeze else features.copy()
         epsilon = self.threat_model.epsilon
         mask = self._resolve_mask(features, target_mask)
 
@@ -59,10 +58,14 @@ class MIMAttack(Attack):
         momentum = np.zeros_like(features)
         for _ in range(self.num_steps):
             gradient = victim.loss_gradient(adversarial, labels)
-            norm = np.abs(gradient).sum(axis=1, keepdims=True)
+            # L1-normalise per sample, reducing over every feature axis so the
+            # update is well-defined for any input rank (a bare axis=1 crashed
+            # on single 1-D fingerprints).
+            feature_axes = tuple(range(1, gradient.ndim))
+            norm = np.abs(gradient).sum(axis=feature_axes, keepdims=True)
             norm = np.where(norm == 0, 1.0, norm)
             momentum = self.decay * momentum + gradient / norm
             adversarial = adversarial + self.alpha * np.sign(momentum) * mask
             adversarial = np.clip(adversarial, features - epsilon, features + epsilon)
             adversarial = self._clip(adversarial)
-        return adversarial
+        return adversarial[0] if squeeze else adversarial

@@ -46,10 +46,9 @@ class PGDAttack(Attack):
         victim: GradientProvider,
         target_mask: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        features = np.asarray(features, dtype=np.float64)
-        labels = np.asarray(labels, dtype=np.int64)
+        features, labels, squeeze = self._as_batch(features, labels)
         if self.threat_model.is_null:
-            return features.copy()
+            return features[0].copy() if squeeze else features.copy()
         epsilon = self.threat_model.epsilon
         mask = self._resolve_mask(features, target_mask)
         rng = np.random.default_rng(self.threat_model.seed)
@@ -64,4 +63,4 @@ class PGDAttack(Attack):
             # Project back into the ε-ball around the clean fingerprint.
             adversarial = np.clip(adversarial, features - epsilon, features + epsilon)
             adversarial = self._clip(adversarial)
-        return adversarial
+        return adversarial[0] if squeeze else adversarial

@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from ..nn import Adam, CrossEntropyLoss, Linear, ReLU, Sequential, Tensor
+from ..nn import fastpath
 
 __all__ = ["SurrogateGradientModel"]
 
@@ -61,6 +62,9 @@ class SurrogateGradientModel:
         )
         self._loss = CrossEntropyLoss()
         self._fitted = False
+        # The surrogate is always a plain Linear/ReLU stack, so the fused
+        # kernels (bit-identical to autograd) carry its entire hot path.
+        self._chain = fastpath.compile_chain(self.network)
 
     def fit(self, features: np.ndarray, victim_labels: np.ndarray) -> "SurrogateGradientModel":
         """Train the surrogate to reproduce ``victim_labels`` on ``features``.
@@ -74,14 +78,27 @@ class SurrogateGradientModel:
         optimizer = Adam(self.network.parameters(), lr=self.lr)
         num_samples = features.shape[0]
         batch_size = min(64, num_samples)
+        targets = (
+            fastpath.ce_target_matrix(victim_labels, self.num_classes, 0.0)
+            if self._chain is not None
+            else None
+        )
         for _ in range(self.epochs):
             order = self._rng.permutation(num_samples)
             for start in range(0, num_samples, batch_size):
                 batch = order[start : start + batch_size]
                 optimizer.zero_grad()
-                logits = self.network(Tensor(features[batch]))
-                loss = self._loss(logits, victim_labels[batch])
-                loss.backward()
+                if self._chain is not None:
+                    fastpath.train_step_ce(
+                        self._chain,
+                        features[batch],
+                        victim_labels[batch],
+                        target_matrix=targets[batch],
+                    )
+                else:
+                    logits = self.network(Tensor(features[batch]))
+                    loss = self._loss(logits, victim_labels[batch])
+                    loss.backward()
                 optimizer.step()
         self._fitted = True
         return self
@@ -90,8 +107,14 @@ class SurrogateGradientModel:
         """Gradient of the surrogate's cross-entropy loss w.r.t. the inputs."""
         if not self._fitted:
             raise RuntimeError("surrogate must be fitted before requesting gradients")
-        inputs = Tensor(np.asarray(features, dtype=np.float64), requires_grad=True)
         self.network.eval()
+        if self._chain is not None:
+            return fastpath.input_gradient_ce(
+                self._chain,
+                np.asarray(features, dtype=np.float64),
+                np.asarray(labels, dtype=np.int64),
+            )
+        inputs = Tensor(np.asarray(features, dtype=np.float64), requires_grad=True)
         logits = self.network(inputs)
         loss = self._loss(logits, np.asarray(labels, dtype=np.int64))
         loss.backward()
@@ -100,5 +123,9 @@ class SurrogateGradientModel:
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Surrogate's own class predictions (used to check imitation quality)."""
         self.network.eval()
+        if self._chain is not None:
+            return fastpath.forward(
+                self._chain, np.asarray(features, dtype=np.float64)
+            ).argmax(axis=1)
         logits = self.network(Tensor(np.asarray(features, dtype=np.float64)))
         return logits.data.argmax(axis=1)

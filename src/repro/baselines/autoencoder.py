@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..nn import Adam, Linear, MSELoss, Module, ReLU, Sequential, Sigmoid, Tensor
+from ..nn import fastpath
 
 __all__ = ["StackedAutoencoder", "DenoisingAutoencoder"]
 
@@ -89,6 +90,7 @@ class StackedAutoencoder(Module):
         history: List[float] = []
         num_samples = features.shape[0]
         batch_size = min(batch_size, num_samples)
+        chain = self._fast_chain()
         for _ in range(epochs):
             order = rng.permutation(num_samples)
             epoch_losses = []
@@ -98,17 +100,32 @@ class StackedAutoencoder(Module):
                 if corruption_std > 0:
                     corrupted = batch + rng.normal(0.0, corruption_std, size=batch.shape)
                 optimizer.zero_grad()
-                reconstruction = self(Tensor(corrupted))
-                loss = loss_fn(reconstruction, batch)
-                loss.backward()
+                if chain is not None:
+                    batch_loss = fastpath.train_step_mse(chain, corrupted, batch)
+                else:
+                    reconstruction = self(Tensor(corrupted))
+                    loss = loss_fn(reconstruction, batch)
+                    loss.backward()
+                    batch_loss = loss.item()
                 optimizer.step()
-                epoch_losses.append(loss.item())
+                epoch_losses.append(batch_loss)
             history.append(float(np.mean(epoch_losses)))
         return history
+
+    def _fast_chain(self) -> Optional[list]:
+        """Fused encoder+decoder chain when both halves are plain stacks."""
+        encoder = fastpath.compile_chain(self.encoder)
+        decoder = fastpath.compile_chain(self.decoder)
+        if encoder is None or decoder is None:
+            return None
+        return encoder + decoder
 
     def transform(self, features: np.ndarray) -> np.ndarray:
         """Encode ``features`` into the latent space (no gradients)."""
         self.eval()
+        chain = fastpath.compile_chain(self.encoder)
+        if chain is not None:
+            return fastpath.forward(chain, np.asarray(features, dtype=np.float64)).copy()
         encoded = self.encode(Tensor(np.asarray(features, dtype=np.float64)))
         return encoded.data.copy()
 

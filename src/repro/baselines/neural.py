@@ -18,6 +18,7 @@ import numpy as np
 from ..data.fingerprint import FingerprintDataset
 from ..interfaces import DifferentiableLocalizer
 from ..nn import Adam, CrossEntropyLoss, Module, Tensor, no_grad
+from ..nn import fastpath
 
 __all__ = ["NeuralNetworkLocalizer"]
 
@@ -60,6 +61,7 @@ class NeuralNetworkLocalizer(DifferentiableLocalizer):
         self._num_classes = 0
         self._num_aps = 0
         self._rng = np.random.default_rng(seed)
+        self._fastpath: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Hooks for subclasses
@@ -80,6 +82,25 @@ class NeuralNetworkLocalizer(DifferentiableLocalizer):
         logits = self.network(inputs)
         return logits, inputs
 
+    def _fast_chain(self) -> Optional[list]:
+        """Fused-kernel chain for the network, or ``None`` for autograd.
+
+        The fused kernels replicate the *stock* forward + cross-entropy path
+        bit for bit; a subclass that customises ``forward_features`` or swaps
+        the loss must keep the autograd path, as must any network containing
+        unsupported layers (the compile step returns ``None`` for those).
+        """
+        if type(self).forward_features is not NeuralNetworkLocalizer.forward_features:
+            return None
+        if type(self._loss) is not CrossEntropyLoss:
+            return None
+        cached = getattr(self, "_fastpath", None)
+        if cached is not None and cached[0] is self.network:
+            return cached[1]
+        chain = fastpath.compile_chain(self.network) if self.network is not None else None
+        self._fastpath = (self.network, chain)
+        return chain
+
     # ------------------------------------------------------------------
     # Localizer interface
     # ------------------------------------------------------------------
@@ -98,19 +119,42 @@ class NeuralNetworkLocalizer(DifferentiableLocalizer):
         history: List[float] = []
         num_samples = features.shape[0]
         batch_size = min(self.batch_size, num_samples)
+        chain = self._fast_chain()
+        targets = None
+        if chain is not None:
+            # One-hot (and smooth) the full label array once; slicing rows per
+            # batch is exact, so each step sees the same target matrix the
+            # per-batch construction would build.
+            targets = fastpath.ce_target_matrix(
+                labels, self._num_classes, self._loss.label_smoothing
+            )
         self.network.train()
         for _ in range(self.epochs):
             order = self._rng.permutation(num_samples)
             epoch_losses = []
+            batch_counts = []
             for start in range(0, num_samples, batch_size):
                 batch = order[start : start + batch_size]
                 optimizer.zero_grad()
-                logits, _ = self.forward_features(features[batch])
-                loss = self._loss(logits, labels[batch])
-                loss.backward()
+                if chain is not None:
+                    batch_loss = fastpath.train_step_ce(
+                        chain,
+                        features[batch],
+                        labels[batch],
+                        self._loss.label_smoothing,
+                        target_matrix=targets[batch],
+                    )
+                else:
+                    logits, _ = self.forward_features(features[batch])
+                    loss = self._loss(logits, labels[batch])
+                    loss.backward()
+                    batch_loss = loss.item()
                 optimizer.step()
-                epoch_losses.append(loss.item())
-            history.append(float(np.mean(epoch_losses)))
+                epoch_losses.append(batch_loss)
+                batch_counts.append(len(batch))
+            # Per-sample epoch mean: a partial final batch must contribute in
+            # proportion to its size, not as a full batch's worth of loss.
+            history.append(float(np.average(epoch_losses, weights=batch_counts)))
         self.network.eval()
         return history
 
@@ -132,21 +176,26 @@ class NeuralNetworkLocalizer(DifferentiableLocalizer):
         self.loss_history.extend(history)
         return history
 
+    def _eval_logits(self, features: np.ndarray) -> np.ndarray:
+        """Evaluation-mode logits via the fused kernels when available."""
+        self.network.eval()
+        chain = self._fast_chain()
+        if chain is not None:
+            return fastpath.forward(chain, np.asarray(features, dtype=np.float64))
+        with no_grad():
+            logits, _ = self.forward_features(features)
+        return logits.data
+
     def predict(self, features: np.ndarray) -> np.ndarray:
         if self.network is None:
             raise RuntimeError(f"{self.name} must be fitted before prediction")
-        self.network.eval()
-        with no_grad():
-            logits, _ = self.forward_features(features)
-        return logits.data.argmax(axis=1)
+        return self._eval_logits(features).argmax(axis=1)
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         if self.network is None:
             raise RuntimeError(f"{self.name} must be fitted before prediction")
-        self.network.eval()
-        with no_grad():
-            logits, _ = self.forward_features(features)
-        shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+        logits = self._eval_logits(features)
+        shifted = logits - logits.max(axis=1, keepdims=True)
         exps = np.exp(shifted)
         return exps / exps.sum(axis=1, keepdims=True)
 
@@ -194,6 +243,14 @@ class NeuralNetworkLocalizer(DifferentiableLocalizer):
         if self.network is None:
             raise RuntimeError(f"{self.name} must be fitted before computing gradients")
         self.network.eval()
+        chain = self._fast_chain()
+        if chain is not None:
+            return fastpath.input_gradient_ce(
+                chain,
+                np.asarray(features, dtype=np.float64),
+                np.asarray(labels, dtype=np.int64),
+                self._loss.label_smoothing,
+            )
         logits, inputs = self.forward_features(features, requires_grad=True)
         loss = self._loss(logits, np.asarray(labels, dtype=np.int64))
         loss.backward()

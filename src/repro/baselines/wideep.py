@@ -111,20 +111,29 @@ class WiDeepLocalizer(Localizer):
         """Gradient of the GPC cross-entropy w.r.t. the raw RSS features."""
         if self.autoencoder is None or self.classifier is None:
             raise RuntimeError("WiDeep must be fitted before computing gradients")
-        from ..nn import Tensor
+        from ..nn import Tensor, fastpath
 
         features = np.asarray(features, dtype=np.float64)
         labels = np.asarray(labels, dtype=np.int64)
         self.autoencoder.eval()
-        inputs = Tensor(features, requires_grad=True)
-        latent = self.autoencoder.encode(inputs)
+        chain = fastpath.compile_chain(self.autoencoder.encoder)
+        if chain is not None:
+            latent_data, tape = fastpath.forward_tape(chain, features)
+        else:
+            inputs = Tensor(features, requires_grad=True)
+            latent = self.autoencoder.encode(inputs)
+            latent_data = latent.data
 
         # The GPC head consumes the clipped/rescaled latent representation.
         scale = 1.0 / (2.0 * self._latent_scale)
-        latent_scaled = np.clip(latent.data * scale + 0.5, 0.0, 1.0)
+        latent_scaled = np.clip(latent_data * scale + 0.5, 0.0, 1.0)
         head_gradient = self.classifier.loss_gradient(latent_scaled, labels)
-        inside = ((latent.data * scale + 0.5) > 0.0) & ((latent.data * scale + 0.5) < 1.0)
+        inside = ((latent_data * scale + 0.5) > 0.0) & ((latent_data * scale + 0.5) < 1.0)
         latent_gradient = head_gradient * inside * scale
 
+        if chain is not None:
+            return fastpath.backward_tape(
+                chain, tape, latent_gradient, accumulate_params=False
+            ).copy()
         latent.backward(latent_gradient)
         return inputs.grad.copy()

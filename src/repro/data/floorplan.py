@@ -224,6 +224,55 @@ class Building:
         """Total wall attenuation (dB) on the direct AP→RP path."""
         return sum(wall.attenuation_db for wall in self.wall_crossings(ap, rp))
 
+    def wall_attenuation_matrix(self) -> np.ndarray:
+        """Total wall attenuation (dB) for every (RP, AP) pair at once.
+
+        Broadcasts the orientation-sign intersection test over all walls ×
+        APs × RPs instead of looping per pair.  The orientation expressions
+        are the same IEEE operations :func:`_segments_intersect` performs, and
+        material attenuations are integer-valued dB, so every partial sum is
+        exact — the matrix matches per-pair :meth:`wall_attenuation_db`
+        bit for bit.
+        """
+        num_rps = self.num_reference_points
+        num_aps = self.num_access_points
+        result = np.zeros((num_rps, num_aps), dtype=np.float64)
+        if not self.walls or num_rps == 0 or num_aps == 0:
+            return result
+        rp_xy = self.rp_positions()
+        ap_xy = np.array([ap.position for ap in self.access_points], dtype=np.float64)
+        q1 = np.array([wall.start for wall in self.walls], dtype=np.float64)
+        q2 = np.array([wall.end for wall in self.walls], dtype=np.float64)
+        attenuation = np.array([wall.attenuation_db for wall in self.walls])
+
+        # orientation(q1, q2, point) for the AP and RP endpoints: (W, A) / (W, R)
+        wall_delta = q2 - q1
+        d1 = wall_delta[:, None, 0] * (ap_xy[None, :, 1] - q1[:, None, 1]) - wall_delta[
+            :, None, 1
+        ] * (ap_xy[None, :, 0] - q1[:, None, 0])
+        d2 = wall_delta[:, None, 0] * (rp_xy[None, :, 1] - q1[:, None, 1]) - wall_delta[
+            :, None, 1
+        ] * (rp_xy[None, :, 0] - q1[:, None, 0])
+        # orientation(ap, rp, q) for both wall endpoints: (W, A, R)
+        link_dx = rp_xy[None, :, 0] - ap_xy[:, None, 0]
+        link_dy = rp_xy[None, :, 1] - ap_xy[:, None, 1]
+        d3 = link_dx[None, :, :] * (q1[:, None, None, 1] - ap_xy[None, :, None, 1]) - link_dy[
+            None, :, :
+        ] * (q1[:, None, None, 0] - ap_xy[None, :, None, 0])
+        d4 = link_dx[None, :, :] * (q2[:, None, None, 1] - ap_xy[None, :, None, 1]) - link_dy[
+            None, :, :
+        ] * (q2[:, None, None, 0] - ap_xy[None, :, None, 0])
+
+        straddles_wall = ((d1 > 0)[:, :, None] & (d2 < 0)[:, None, :]) | (
+            (d1 < 0)[:, :, None] & (d2 > 0)[:, None, :]
+        )
+        straddles_link = ((d3 > 0) & (d4 < 0)) | ((d3 < 0) & (d4 > 0))
+        crossings = straddles_wall & straddles_link
+        # (W, A, R) crossings weighted by per-wall dB, summed over walls, then
+        # transposed to the (RP, AP) layout the propagation model consumes.
+        result += (crossings * attenuation[:, None, None]).sum(axis=0).T
+        return result
+
 
 def _segments_intersect(
     p1: Tuple[float, float],

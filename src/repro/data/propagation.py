@@ -147,15 +147,22 @@ class PropagationModel:
         building = self.building
         num_rps = building.num_reference_points
         num_aps = building.num_access_points
-        rss = np.empty((num_rps, num_aps), dtype=np.float64)
-        for rp_index, rp in enumerate(building.reference_points):
-            for ap_index, ap in enumerate(building.access_points):
-                distance = max(ap.distance_to(rp.position), cfg.min_distance_m)
-                path_loss = cfg.reference_loss_db + 10.0 * cfg.path_loss_exponent * np.log10(
-                    distance
-                )
-                wall_loss = building.wall_attenuation_db(ap, rp)
-                rss[rp_index, ap_index] = ap.tx_power_dbm - path_loss - wall_loss
+        if num_rps == 0 or num_aps == 0:
+            return np.zeros((num_rps, num_aps), dtype=np.float64) + self._shadowing
+        # math.hypot (not np.hypot) keeps the distances bit-identical to
+        # AccessPoint.distance_to — the two library implementations round
+        # differently on ~0.1% of inputs.
+        distance = np.array(
+            [
+                [ap.distance_to(rp.position) for ap in building.access_points]
+                for rp in building.reference_points
+            ],
+            dtype=np.float64,
+        )
+        distance = np.maximum(distance, cfg.min_distance_m)
+        path_loss = cfg.reference_loss_db + 10.0 * cfg.path_loss_exponent * np.log10(distance)
+        tx_power = np.array([ap.tx_power_dbm for ap in building.access_points])
+        rss = tx_power[None, :] - path_loss - building.wall_attenuation_matrix()
         return rss + self._shadowing
 
     # ------------------------------------------------------------------

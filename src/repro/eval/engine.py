@@ -70,7 +70,12 @@ import os
 import pickle
 import tempfile
 import threading
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -88,10 +93,11 @@ from typing import (
 import numpy as np
 
 from ..attacks.base import GradientProvider, ThreatModel
+from ..attacks.batched import craft_grid
 from ..attacks.mitm import SignalSpoofingAttack, attack_dataset, replay_survey
 from ..attacks.surrogate import SurrogateGradientModel
 from ..data.campaign import CampaignConfig, LocalizationCampaign, collect_campaign
-from ..data.fingerprint import FingerprintDataset
+from ..data.fingerprint import FingerprintDataset, denormalize_rss
 from ..data.floorplan import paper_building
 from ..defenses.base import DefenseSpec
 from ..interfaces import Localizer
@@ -769,37 +775,50 @@ def evaluate_unit(
     if surrogates is None:
         surrogates = {}
     victim: Optional[GradientProvider] = None
-    results: List[ErrorStats] = []
-    for scenario in unit.scenarios:
-        if scenario.is_clean:
-            attacked = test
-        else:
-            # model_seed seeds the surrogate used against non-differentiable
-            # victims, so it co-determines the perturbation and must be part
-            # of the key (for native white-box victims it is simply inert).
-            digest = cache_key(
-                "attacked",
-                {
-                    "model": model_digest,
-                    "device": unit.device,
-                    "scenario": scenario,
-                    "surrogate_seed": config.model_seed,
-                },
-            )
-            arrays = cache.get_arrays("attacked", digest) if cache is not None else None
-            if arrays is not None:
-                attacked = test.with_rss(arrays["rss_dbm"])
-            else:
-                if victim is None:
-                    victim = _resolve_victim(
-                        model, model_digest, campaign, config, surrogates
-                    )
-                threat = ThreatModel(
-                    epsilon=scenario.epsilon,
-                    phi_percent=scenario.phi_percent,
-                    seed=scenario.seed,
+
+    # Group the unit's attacked scenarios by crafting method and craft each
+    # group in one batched pass (see attacks.batched): the ε × ø grid of one
+    # method shares every victim gradient call instead of repeating it per
+    # point.  The crafted grid is cached as ONE artefact keyed by the *full*
+    # scenario group, so batch composition can never depend on which
+    # artefacts happen to be cached — results stay independent of cache
+    # state and engine sharding.
+    groups: Dict[str, List[int]] = {}
+    for position, scenario in enumerate(unit.scenarios):
+        if not scenario.is_clean:
+            groups.setdefault(scenario.method, []).append(position)
+
+    attacked_by_position: Dict[int, FingerprintDataset] = {}
+    for method, positions in groups.items():
+        group_scenarios = [unit.scenarios[position] for position in positions]
+        # model_seed seeds the surrogate used against non-differentiable
+        # victims, so it co-determines the perturbation and must be part
+        # of the key (for native white-box victims it is simply inert).
+        digest = cache_key(
+            "attacked",
+            {
+                "model": model_digest,
+                "device": unit.device,
+                "scenarios": tuple(group_scenarios),
+                "surrogate_seed": config.model_seed,
+            },
+        )
+        arrays = cache.get_arrays("attacked", digest) if cache is not None else None
+        if arrays is None:
+            if victim is None:
+                victim = _resolve_victim(
+                    model, model_digest, campaign, config, surrogates
                 )
-                attack = make_attack(scenario.method, threat)
+            attacks = []
+            for scenario in group_scenarios:
+                attack = make_attack(
+                    scenario.method,
+                    ThreatModel(
+                        epsilon=scenario.epsilon,
+                        phi_percent=scenario.phi_percent,
+                        seed=scenario.seed,
+                    ),
+                )
                 if (
                     isinstance(attack, SignalSpoofingAttack)
                     and attack.replay_features is None
@@ -809,9 +828,20 @@ def evaluate_unit(
                     # never of the batch this unit happens to score (which
                     # would make results depend on engine sharding).
                     attack.replay_features = replay_survey(campaign.train)
-                attacked = attack_dataset(test, attack, victim)
-                if cache is not None:
-                    cache.put_arrays("attacked", digest, {"rss_dbm": attacked.rss_dbm})
+                attacks.append(attack)
+            crafted = craft_grid(attacks, test.features, test.labels, victim)
+            arrays = {
+                f"rss_dbm_{index}": denormalize_rss(adversarial)
+                for index, adversarial in enumerate(crafted)
+            }
+            if cache is not None:
+                cache.put_arrays("attacked", digest, arrays)
+        for index, position in enumerate(positions):
+            attacked_by_position[position] = test.with_rss(arrays[f"rss_dbm_{index}"])
+
+    results: List[ErrorStats] = []
+    for position, scenario in enumerate(unit.scenarios):
+        attacked = test if scenario.is_clean else attacked_by_position[position]
         results.append(error_stats(model.evaluate(attacked)))
     return results
 
@@ -1003,41 +1033,6 @@ def _worker_get_campaign(
     )
 
 
-def _worker_train(
-    task: ModelTask,
-    building: str,
-    campaign_digest: str,
-    config: EvaluationConfig,
-    cache_spec: Optional[Tuple[str, bool]],
-) -> Tuple[Localizer, str]:
-    campaign = _worker_get_campaign(building, campaign_digest, config, cache_spec)
-    return train_localizer(
-        task, campaign, campaign_digest, ArtifactCache.from_spec(cache_spec)
-    )
-
-
-def _worker_eval(
-    unit: EvalUnit,
-    model: Localizer,
-    model_digest: str,
-    campaign_digest: str,
-    config: EvaluationConfig,
-    cache_spec: Optional[Tuple[str, bool]],
-) -> List[ErrorStats]:
-    campaign = _worker_get_campaign(
-        unit.building, campaign_digest, config, cache_spec
-    )
-    return evaluate_unit(
-        unit,
-        model,
-        model_digest,
-        campaign,
-        config,
-        ArtifactCache.from_spec(cache_spec),
-        surrogates=_WORKER_MEMO.surrogates,
-    )
-
-
 def _worker_scenario(
     unit: ScenarioUnit,
     model: Optional[Localizer],
@@ -1059,6 +1054,59 @@ def _worker_scenario(
         ArtifactCache.from_spec(cache_spec),
         surrogates=_WORKER_MEMO.surrogates,
     )
+
+
+def _worker_task_group(
+    task: ModelTask,
+    building: str,
+    campaign_digest: str,
+    eval_units: List[Tuple[int, EvalUnit]],
+    scenario_units: List[Tuple[int, ScenarioUnit]],
+    config: EvaluationConfig,
+    cache_spec: Optional[Tuple[str, bool]],
+) -> Tuple[
+    Dict[int, List[ErrorStats]], Dict[int, Tuple[ErrorStats, AttackScenario]]
+]:
+    """Train one (task, building) model and score all of its dependents.
+
+    Coalescing the train unit with its eval and standard-model scenario
+    units into one submission is what makes the parallel transport cheap:
+    the trained model and the fitted surrogate stay inside this worker (one
+    training, one surrogate fit, zero model pickling) and only the tiny
+    per-unit :class:`ErrorStats` cross the process boundary.  The campaign —
+    the genuinely large input — never ships at all: workers rebuild it from
+    the digest via the process-level read-only memo / artefact cache /
+    deterministic re-simulation.  Splitting these stages into per-unit
+    submissions (the previous design) re-pickled the model for every unit
+    and made small grids *slower* than serial — pure IPC overhead.
+    """
+    campaign = _worker_get_campaign(building, campaign_digest, config, cache_spec)
+    cache = ArtifactCache.from_spec(cache_spec)
+    model, model_digest = train_localizer(task, campaign, campaign_digest, cache)
+    stats_by_unit: Dict[int, List[ErrorStats]] = {}
+    for index, unit in eval_units:
+        stats_by_unit[index] = evaluate_unit(
+            unit,
+            model,
+            model_digest,
+            campaign,
+            config,
+            cache,
+            surrogates=_WORKER_MEMO.surrogates,
+        )
+    scenario_outcomes: Dict[int, Tuple[ErrorStats, AttackScenario]] = {}
+    for index, unit in scenario_units:
+        scenario_outcomes[index] = evaluate_scenario_unit(
+            unit,
+            model,
+            model_digest,
+            campaign,
+            campaign_digest,
+            config,
+            cache,
+            surrogates=_WORKER_MEMO.surrogates,
+        )
+    return stats_by_unit, scenario_outcomes
 
 
 # ----------------------------------------------------------------------
@@ -1264,10 +1312,17 @@ class ExecutionEngine:
     config:
         Evaluation profile supplying the default grid and all seeds.
     jobs:
-        Number of worker processes.  ``1`` (the default) runs every unit
-        in-process — the exact legacy serial path; ``>1`` fans independent
-        units out over a :class:`concurrent.futures.ProcessPoolExecutor`.
-        Either way the results are bit-identical.
+        Number of workers.  ``1`` (the default) runs every unit in-process —
+        the exact legacy serial path; ``>1`` fans coalesced (task, building)
+        work groups out over the selected executor.  Either way the results
+        are bit-identical.
+    executor:
+        ``"process"`` (default) runs workers in a
+        :class:`~concurrent.futures.ProcessPoolExecutor`; ``"thread"`` uses a
+        :class:`~concurrent.futures.ThreadPoolExecutor` instead — no spawn or
+        pickling cost at all, at the price of sharing the GIL (numpy kernels
+        release it, interpreter-bound stages serialise).  Ignored at
+        ``jobs=1``.
     cache:
         Anything :meth:`ArtifactCache.coerce` accepts: ``None``/``False``
         (no caching), ``True`` (default location), a directory path, or an
@@ -1278,17 +1333,25 @@ class ExecutionEngine:
         its own in-memory campaign cache).
     """
 
+    EXECUTORS = ("process", "thread")
+
     def __init__(
         self,
         config: Optional[EvaluationConfig] = None,
         jobs: int = 1,
         cache: Union[None, bool, str, Path, ArtifactCache] = None,
         campaigns: Optional[Dict[str, LocalizationCampaign]] = None,
+        executor: str = "process",
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if executor not in self.EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {self.EXECUTORS}, got {executor!r}"
+            )
         self.config = config or EvaluationConfig.quick()
         self.jobs = int(jobs)
+        self.executor = executor
         self.cache = ArtifactCache.coerce(cache)
         self._campaigns = campaigns if campaigns is not None else {}
 
@@ -1407,19 +1470,34 @@ class ExecutionEngine:
         return stats_by_unit, scenario_outcomes
 
     # -- parallel path --------------------------------------------------
+    def _executor_factory(self):
+        """The selected :mod:`concurrent.futures` executor class."""
+        return (
+            ThreadPoolExecutor if self.executor == "thread" else ProcessPoolExecutor
+        )
+
     def _execute_parallel(
         self, plan: ExecutionPlan
     ) -> Tuple[Dict[int, List[ErrorStats]], Dict[int, Tuple[ErrorStats, AttackScenario]]]:
-        """Dependency-driven execution over a process pool.
+        """Dependency-driven execution over a process or thread pool.
 
-        Units are submitted the moment their dependencies resolve: campaign
-        units immediately, each train unit when its building's campaign
-        lands, each eval unit when its model finishes training.  Scenario
-        units follow the same rule — after their model's train unit when they
-        reuse the standard training split, directly after the campaign when
-        they train their own model.  Completion order is nondeterministic but
-        irrelevant — results are keyed by unit index and stitched back in
-        plan order by :meth:`run`.
+        Work is submitted at *task-group* granularity: one campaign unit per
+        building, then — the moment a building's campaign digest lands — one
+        coalesced :func:`_worker_task_group` per (task, building) covering
+        the train unit plus every eval unit and standard-model scenario unit
+        that depends on it.  Scenario units that train their own model (no
+        shared train dependency) are submitted individually alongside.
+
+        Coalescing is deliberate: the per-unit submissions this replaced
+        shipped the trained model (pickled) to every eval unit and the
+        surrogate state to none of them, so small work units spent more time
+        in IPC than in numpy and ``jobs=2`` ran *slower* than serial.  With
+        groups, models and surrogates never leave the worker, campaigns
+        travel as digests against a read-only process-level memo, and the
+        only per-unit traffic is a few hundred bytes of statistics.
+
+        Completion order is nondeterministic but irrelevant — results are
+        keyed by unit index and stitched back in plan order by :meth:`run`.
         """
         cache_spec = self.cache.spec() if self.cache is not None else None
         campaigns: Dict[str, Tuple[LocalizationCampaign, str]] = {}
@@ -1431,11 +1509,11 @@ class ExecutionEngine:
         trains_by_building: Dict[str, List[int]] = {}
         for train_index, train_unit in enumerate(plan.train_units):
             trains_by_building.setdefault(train_unit.building, []).append(train_index)
-        evals_by_train: Dict[Tuple[str, str], List[int]] = {}
+        evals_by_train: Dict[Tuple[str, str], List[Tuple[int, EvalUnit]]] = {}
         for eval_index, eval_unit in enumerate(plan.eval_units):
             key = (eval_unit.task.key, eval_unit.building)
-            evals_by_train.setdefault(key, []).append(eval_index)
-        scenarios_by_train: Dict[Tuple[str, str], List[int]] = {}
+            evals_by_train.setdefault(key, []).append((eval_index, eval_unit))
+        scenarios_by_train: Dict[Tuple[str, str], List[Tuple[int, ScenarioUnit]]] = {}
         scenarios_by_campaign: Dict[str, List[int]] = {}
         # trains_standard_model is a family-level (class) attribute, so memo
         # by registry name — params may hold values that hash poorly.
@@ -1446,46 +1524,46 @@ class ExecutionEngine:
                 trains_standard[spec.name] = spec.build().trains_standard_model
             if trains_standard[spec.name]:
                 key = (scenario_unit.task.key, scenario_unit.building)
-                scenarios_by_train.setdefault(key, []).append(scenario_index)
+                scenarios_by_train.setdefault(key, []).append(
+                    (scenario_index, scenario_unit)
+                )
             else:
                 scenarios_by_campaign.setdefault(
                     scenario_unit.building, []
                 ).append(scenario_index)
 
-        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
+        with self._executor_factory()(max_workers=self.jobs) as executor:
             pending = {}
 
-            def submit_scenario(
-                scenario_index: int,
-                model: Optional[Localizer],
-                model_digest: Optional[str],
-                campaign_digest: str,
-            ) -> None:
+            def submit_scenario(scenario_index: int, campaign_digest: str) -> None:
                 scenario_future = executor.submit(
                     _worker_scenario,
                     plan.scenario_units[scenario_index],
-                    model,
-                    model_digest,
+                    None,
+                    None,
                     campaign_digest,
                     self.config,
                     cache_spec,
                 )
                 pending[scenario_future] = ("scenario", scenario_index)
 
-            def submit_trains(building: str, digest: str) -> None:
+            def submit_groups(building: str, digest: str) -> None:
                 for train_index in trains_by_building.get(building, ()):
                     train_unit = plan.train_units[train_index]
-                    train_future = executor.submit(
-                        _worker_train,
+                    key = (train_unit.task.key, building)
+                    group_future = executor.submit(
+                        _worker_task_group,
                         train_unit.task,
                         building,
                         digest,
+                        evals_by_train.get(key, []),
+                        scenarios_by_train.get(key, []),
                         self.config,
                         cache_spec,
                     )
-                    pending[train_future] = ("train", train_unit)
+                    pending[group_future] = ("group", None)
                 for scenario_index in scenarios_by_campaign.get(building, ()):
-                    submit_scenario(scenario_index, None, None, digest)
+                    submit_scenario(scenario_index, digest)
 
             for unit in plan.campaign_units:
                 if unit.building in self._campaigns:
@@ -1493,7 +1571,7 @@ class ExecutionEngine:
                     # skip the campaign worker and unblock training directly.
                     campaign, digest = self._campaign_with_digest(unit.building)
                     campaigns[unit.building] = (campaign, digest)
-                    submit_trains(unit.building, digest)
+                    submit_groups(unit.building, digest)
                     continue
                 future = executor.submit(
                     _worker_campaign, unit.building, self.config, cache_spec
@@ -1508,29 +1586,11 @@ class ExecutionEngine:
                         campaign, digest = outcome
                         campaigns[unit.building] = (campaign, digest)
                         self._campaigns.setdefault(unit.building, campaign)
-                        submit_trains(unit.building, digest)
-                    elif kind == "train":
-                        model, model_digest = outcome
-                        _, campaign_digest = campaigns[unit.building]
-                        key = (unit.task.key, unit.building)
-                        for eval_index in evals_by_train.get(key, ()):
-                            eval_unit = plan.eval_units[eval_index]
-                            eval_future = executor.submit(
-                                _worker_eval,
-                                eval_unit,
-                                model,
-                                model_digest,
-                                campaign_digest,
-                                self.config,
-                                cache_spec,
-                            )
-                            pending[eval_future] = ("eval", eval_index)
-                        for scenario_index in scenarios_by_train.get(key, ()):
-                            submit_scenario(
-                                scenario_index, model, model_digest, campaign_digest
-                            )
-                    elif kind == "scenario":
+                        submit_groups(unit.building, digest)
+                    elif kind == "group":
+                        group_stats, group_outcomes = outcome
+                        stats_by_unit.update(group_stats)
+                        scenario_outcomes.update(group_outcomes)
+                    else:  # scenario
                         scenario_outcomes[unit] = outcome
-                    else:
-                        stats_by_unit[unit] = outcome
         return stats_by_unit, scenario_outcomes

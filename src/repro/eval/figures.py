@@ -211,10 +211,11 @@ def fig1_attack_impact(
     config: Optional[EvaluationConfig] = None,
     jobs: int = 1,
     cache: object = None,
+    executor: str = "process",
 ) -> Dict[str, object]:
     """Fig. 1: localization error of KNN / GPC / DNN with and without FGSM."""
     config = config or EvaluationConfig.quick()
-    runner = ExperimentRunner(config, jobs=jobs, cache=cache)
+    runner = ExperimentRunner(config, jobs=jobs, cache=cache, executor=executor)
     scenarios = (
         AttackScenario(method="FGSM", epsilon=0.0, phi_percent=0.0),
         AttackScenario(method="FGSM", epsilon=0.3, phi_percent=50.0, seed=config.attack_seeds[0]),
@@ -248,10 +249,11 @@ def fig4_heatmaps(
     config: Optional[EvaluationConfig] = None,
     jobs: int = 1,
     cache: object = None,
+    executor: str = "process",
 ) -> Dict[str, object]:
     """Fig. 4: CALLOC mean-error heatmaps (device × building) per attack method."""
     config = config or EvaluationConfig.quick()
-    runner = ExperimentRunner(config, jobs=jobs, cache=cache)
+    runner = ExperimentRunner(config, jobs=jobs, cache=cache, executor=executor)
     spec = _spec(("CALLOC",), buildings=config.buildings, name="fig4")
     results = runner.run(spec)
     heatmaps: Dict[str, np.ndarray] = {}
@@ -278,12 +280,13 @@ def fig5_curriculum(
     config: Optional[EvaluationConfig] = None,
     jobs: int = 1,
     cache: object = None,
+    executor: str = "process",
 ) -> Dict[str, object]:
     """Fig. 5: curriculum (CALLOC) vs no-curriculum (NC) across attacks and ε."""
     from ..api import ModelSpec
 
     config = config or EvaluationConfig.quick()
-    runner = ExperimentRunner(config, jobs=jobs, cache=cache)
+    runner = ExperimentRunner(config, jobs=jobs, cache=cache, executor=executor)
     spec = _spec(
         (
             ModelSpec("CALLOC"),
@@ -320,10 +323,11 @@ def fig6_sota(
     baselines: Optional[Sequence[str]] = None,
     jobs: int = 1,
     cache: object = None,
+    executor: str = "process",
 ) -> Dict[str, object]:
     """Fig. 6: CALLOC vs state-of-the-art frameworks (mean and worst-case error)."""
     config = config or EvaluationConfig.quick()
-    runner = ExperimentRunner(config, jobs=jobs, cache=cache)
+    runner = ExperimentRunner(config, jobs=jobs, cache=cache, executor=executor)
     spec = fig6_spec(baselines)
     results = runner.run(spec)
 
@@ -351,10 +355,11 @@ def fig7_phi_sweep(
     epsilon: float = 0.1,
     jobs: int = 1,
     cache: object = None,
+    executor: str = "process",
 ) -> Dict[str, object]:
     """Fig. 7: mean error vs number of attacked APs ø (FGSM, ε = 0.1)."""
     config = config or EvaluationConfig.quick()
-    runner = ExperimentRunner(config, jobs=jobs, cache=cache)
+    runner = ExperimentRunner(config, jobs=jobs, cache=cache, executor=executor)
     names = ("CALLOC",) + (
         tuple(baselines) if baselines is not None else DEFAULT_SOTA_BASELINES
     )
@@ -390,6 +395,7 @@ def robustness_matrix(
     scenarios: Optional[Sequence[str]] = None,
     jobs: int = 1,
     cache: object = None,
+    executor: str = "process",
 ) -> Dict[str, object]:
     """Robustness matrix: mean error per model × deployment scenario.
 
@@ -401,7 +407,7 @@ def robustness_matrix(
     and an ASCII rendering.
     """
     config = config or EvaluationConfig.quick()
-    runner = ExperimentRunner(config, jobs=jobs, cache=cache)
+    runner = ExperimentRunner(config, jobs=jobs, cache=cache, executor=executor)
     names = tuple(models) if models is not None else DEFAULT_ROBUSTNESS_MODELS
     specs = config.robustness_scenarios(scenarios)
     spec = _spec(
@@ -437,12 +443,13 @@ def ablation_adaptive(
     config: Optional[EvaluationConfig] = None,
     jobs: int = 1,
     cache: object = None,
+    executor: str = "process",
 ) -> Dict[str, object]:
     """Sec. IV.D ablation: adaptive curriculum controller vs static curriculum."""
     from ..api import ModelSpec
 
     config = config or EvaluationConfig.quick()
-    runner = ExperimentRunner(config, jobs=jobs, cache=cache)
+    runner = ExperimentRunner(config, jobs=jobs, cache=cache, executor=executor)
     labels = ("CALLOC-adaptive", "CALLOC-static")
     spec = _spec(
         (

@@ -44,12 +44,17 @@ def error_stats(errors: Iterable[float]) -> ErrorStats:
     array = np.asarray(list(errors), dtype=np.float64)
     if array.size == 0:
         raise ValueError("cannot compute statistics of an empty error array")
+    # One percentile call for both tail quantiles: numpy interpolates each q
+    # independently from the same sorted data, so the values match separate
+    # calls bit for bit.  The median stays on np.median — its even-length
+    # midpoint mean rounds differently from quantile interpolation.
+    p75, p95 = np.percentile(array, (75, 95))
     return ErrorStats(
         mean=float(array.mean()),
         worst_case=float(array.max()),
         median=float(np.median(array)),
-        p75=float(np.percentile(array, 75)),
-        p95=float(np.percentile(array, 95)),
+        p75=float(p75),
+        p95=float(p95),
         count=int(array.size),
     )
 

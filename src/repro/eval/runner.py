@@ -181,10 +181,12 @@ class ExperimentRunner:
         config: Optional[EvaluationConfig] = None,
         jobs: int = 1,
         cache: object = None,
+        executor: str = "process",
     ) -> None:
         self.config = config or EvaluationConfig.quick()
         self.jobs = jobs
         self.cache = cache
+        self.executor = executor
         self._campaigns: Dict[str, LocalizationCampaign] = {}
         self._surrogates: Dict[int, SurrogateGradientModel] = {}
 
@@ -303,6 +305,7 @@ class ExperimentRunner:
         spec: "ExperimentSpec",
         jobs: Optional[int] = None,
         cache: object = None,
+        executor: Optional[str] = None,
     ) -> ResultSet:
         """Execute a declarative :class:`~repro.api.ExperimentSpec`.
 
@@ -312,9 +315,9 @@ class ExperimentRunner:
         it).  Reusing one runner across specs shares the campaign cache.
 
         Execution goes through :class:`~repro.eval.engine.ExecutionEngine`:
-        ``jobs``/``cache`` override the runner-level settings for this call
-        (``jobs=1``, the default, is the serial path; results are
-        bit-identical at any job count).
+        ``jobs``/``cache``/``executor`` override the runner-level settings
+        for this call (``jobs=1``, the default, is the serial path; results
+        are bit-identical at any job count and with either executor).
         """
         from .engine import ExecutionEngine
 
@@ -326,6 +329,7 @@ class ExperimentRunner:
             jobs=self.jobs if jobs is None else jobs,
             cache=self.cache if cache is None else cache,
             campaigns=self._campaigns,
+            executor=self.executor if executor is None else executor,
         )
         return engine.run(
             tasks,

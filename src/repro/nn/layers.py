@@ -312,6 +312,22 @@ class Sequential(Module):
         return self
 
 
+_WINDOW_INDEX_CACHE: Dict[tuple, np.ndarray] = {}
+
+
+def _window_index(out_length: int, kernel_size: int, stride: int) -> np.ndarray:
+    """``(out_length, kernel_size)`` gather index for sliding-window unfolds."""
+    key = (out_length, kernel_size, stride)
+    cached = _WINDOW_INDEX_CACHE.get(key)
+    if cached is None:
+        cached = (
+            np.arange(out_length)[:, None] * stride + np.arange(kernel_size)[None, :]
+        )
+        cached.setflags(write=False)
+        _WINDOW_INDEX_CACHE[key] = cached
+    return cached
+
+
 class Conv1d(Module):
     """1-D convolution over RSS vectors (used by the CNN baseline [16]).
 
@@ -362,12 +378,16 @@ class Conv1d(Module):
         out_length = (length - self.kernel_size) // self.stride + 1
         if out_length <= 0:
             raise ValueError("convolution output length is non-positive; reduce kernel/stride")
-        patches = []
-        for position in range(out_length):
-            start = position * self.stride
-            patch = inputs[:, :, start : start + self.kernel_size]
-            patches.append(patch.reshape(batch, channels * self.kernel_size))
-        stacked = Tensor.stack(patches, axis=1)  # (batch, out_length, C*K)
+        # One fancy-index gather unfolds every window at once; its backward
+        # scatter-adds window gradients in ascending window order, which is
+        # exactly the order the per-position slicing loop accumulated them
+        # (autograd processes the patch nodes first-created-first), so the
+        # overlapping-window gradient sums are bit-identical to the loop.
+        windows = _window_index(out_length, self.kernel_size, self.stride)
+        patches = inputs[:, :, windows]  # (batch, C, out_length, K)
+        stacked = patches.transpose(0, 2, 1, 3).reshape(
+            batch, out_length, channels * self.kernel_size
+        )
         output = stacked.matmul(self.weight) + self.bias  # (batch, out_length, out_channels)
         return output.transpose(0, 2, 1)  # (batch, out_channels, out_length)
 
@@ -387,12 +407,11 @@ class MaxPool1d(Module):
         out_length = (length - self.kernel_size) // self.stride + 1
         if out_length <= 0:
             raise ValueError("pooling output length is non-positive")
-        windows = []
-        for position in range(out_length):
-            start = position * self.stride
-            window = inputs[:, :, start : start + self.kernel_size]
-            windows.append(window.max(axis=2))
-        return Tensor.stack(windows, axis=2)
+        # Same gather trick as Conv1d: one indexed read replaces the
+        # per-position slicing loop, and the max/tie-splitting backward runs
+        # per window on the same values, so gradients match the loop bitwise.
+        windows = _window_index(out_length, self.kernel_size, self.stride)
+        return inputs[:, :, windows].max(axis=3)
 
 
 class Embedding(Module):

@@ -137,9 +137,89 @@ class Adam(Optimizer):
         self._step_count = 0
         self._first_moment: List[Optional[np.ndarray]] = [None] * len(self.parameters)
         self._second_moment: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._flat: Optional[tuple] = None
+
+    def _build_flat(self) -> tuple:
+        """Concatenate the moment buffers into flat arrays, views per param.
+
+        Adam's update is purely elementwise, so running it over one
+        concatenated vector computes bit-for-bit the same values as the
+        per-parameter loop while paying the ufunc dispatch cost once per step
+        instead of once per parameter.  The per-parameter moment lists are
+        re-pointed at reshaped views of the flat buffers, keeping
+        :meth:`state_dict` round-trips intact.  Parameter data is flattened
+        the same way so the update is a single in-place subtract; ``step``
+        verifies ``param.data`` still aliases its view each call and rebuilds
+        if anything outside rebound it (``Module.state_dict`` copies, so
+        snapshots never alias the live buffer).
+        """
+        sizes = [param.data.size for param in self.parameters]
+        total = sum(sizes)
+        m_flat = np.zeros(total, dtype=np.float64)
+        v_flat = np.zeros(total, dtype=np.float64)
+        data_flat = np.empty(total, dtype=np.float64)
+        slices: List[slice] = []
+        offset = 0
+        for index, (param, size) in enumerate(zip(self.parameters, sizes)):
+            piece = slice(offset, offset + size)
+            moment = self._first_moment[index]
+            if moment is not None:
+                m_flat[piece] = moment.ravel()
+                v_flat[piece] = self._second_moment[index].ravel()
+            data_flat[piece] = param.data.ravel()
+            slices.append(piece)
+            offset += size
+        data_views: List[np.ndarray] = []
+        for index, (param, piece) in enumerate(zip(self.parameters, slices)):
+            self._first_moment[index] = m_flat[piece].reshape(param.data.shape)
+            self._second_moment[index] = v_flat[piece].reshape(param.data.shape)
+            view = data_flat[piece].reshape(param.data.shape)
+            param.data = view
+            data_views.append(view)
+        scratch = (np.empty(total), np.empty(total), np.empty(total))
+        self._flat = (m_flat, v_flat, data_flat, data_views, slices) + scratch
+        return self._flat
 
     def step(self) -> None:
         self._step_count += 1
+        if self.weight_decay or any(param.grad is None for param in self.parameters):
+            # Rare paths (decoupled parameters without gradients, weight
+            # decay) keep the reference per-parameter loop; the flat buffers
+            # are invalidated because the loop rebinds the moment lists.
+            self._flat = None
+            self._step_reference()
+            return
+        flat = self._flat if self._flat is not None else self._build_flat()
+        m_flat, v_flat, data_flat, data_views, slices, grad_flat, numerator, denominator = flat
+        for param, view in zip(self.parameters, data_views):
+            if param.data is not view:
+                # Someone rebound param.data (e.g. network.load_state_dict);
+                # the flat data buffer is stale — rebuild from live arrays.
+                flat = self._build_flat()
+                m_flat, v_flat, data_flat, data_views, slices, grad_flat, numerator, denominator = flat
+                break
+        for param, piece in zip(self.parameters, slices):
+            grad_flat[piece] = param.grad.ravel()
+        np.multiply(m_flat, self.beta1, out=m_flat)
+        np.multiply(grad_flat, 1.0 - self.beta1, out=numerator)
+        np.add(m_flat, numerator, out=m_flat)
+        np.multiply(grad_flat, grad_flat, out=numerator)
+        np.multiply(numerator, 1.0 - self.beta2, out=numerator)
+        np.multiply(v_flat, self.beta2, out=v_flat)
+        np.add(v_flat, numerator, out=v_flat)
+        np.divide(m_flat, 1.0 - self.beta1 ** self._step_count, out=numerator)
+        np.divide(v_flat, 1.0 - self.beta2 ** self._step_count, out=denominator)
+        np.sqrt(denominator, out=denominator)
+        np.add(denominator, self.eps, out=denominator)
+        np.multiply(numerator, self.lr, out=numerator)
+        np.divide(numerator, denominator, out=numerator)
+        # One in-place subtract over the concatenated data vector computes the
+        # same bits as the per-parameter ``param.data - update`` (elementwise
+        # subtraction is independent per element; ``out=`` does not change
+        # rounding), and every ``param.data`` is a live view into ``data_flat``.
+        np.subtract(data_flat, numerator, out=data_flat)
+
+    def _step_reference(self) -> None:
         for index, param in enumerate(self.parameters):
             if param.grad is None:
                 continue
@@ -176,3 +256,4 @@ class Adam(Optimizer):
         self._step_count = int(state["step_count"])
         self._first_moment = first
         self._second_moment = second
+        self._flat = None

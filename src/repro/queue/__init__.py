@@ -35,6 +35,7 @@ requirement — two workers racing on one unit would write identical bytes.
 """
 
 from .ledger import (
+    LEASE_BREAK_GRACE_S,
     STATE_DONE,
     STATE_FAILED,
     STATE_PENDING,
@@ -57,6 +58,7 @@ __all__ = [
     "STATE_FAILED",
     "STATE_SKIPPED",
     "TERMINAL_STATES",
+    "LEASE_BREAK_GRACE_S",
     "Lease",
     "LedgerError",
     "RunLedger",

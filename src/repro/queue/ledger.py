@@ -71,6 +71,7 @@ __all__ = [
     "STATE_FAILED",
     "STATE_SKIPPED",
     "TERMINAL_STATES",
+    "LEASE_BREAK_GRACE_S",
     "LedgerError",
     "UnitEntry",
     "UnitState",
@@ -86,6 +87,15 @@ STATE_FAILED = "failed"
 STATE_SKIPPED = "skipped"
 #: States a unit never leaves.
 TERMINAL_STATES = frozenset({STATE_DONE, STATE_FAILED, STATE_SKIPPED})
+
+#: Safety margin (seconds) a breaker waits past a lease's nominal expiry
+#: before treating the holder as dead.  Expiry stamps are written with the
+#: *holder's* wall clock and judged with the *breaker's*; without the margin
+#: a few seconds of clock skew (or an NTP step on either side) makes a
+#: healthy lease look expired exactly at the boundary and a live worker's
+#: attempt gets booked as a death.  The margin only delays janitorial
+#: takeover of genuinely dead workers — it never blocks the holder.
+LEASE_BREAK_GRACE_S = 5.0
 
 _MANIFEST = "manifest.json"
 
@@ -209,8 +219,16 @@ class Lease:
     expires_unix: float
     renewals: int = 0
 
-    def expired(self, now: Optional[float] = None) -> bool:
-        return (now if now is not None else time.time()) >= self.expires_unix
+    def expired(self, now: Optional[float] = None, grace_s: float = 0.0) -> bool:
+        """Whether the lease has outlived its expiry by at least ``grace_s``.
+
+        Breakers must pass :data:`LEASE_BREAK_GRACE_S` (clock-skew margin);
+        the bare predicate is for the holder's own bookkeeping.
+        """
+        return (
+            (now if now is not None else time.time())
+            >= self.expires_unix + grace_s
+        )
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -507,6 +525,7 @@ class RunLedger:
         max_attempts: int,
         backoff_s: float,
         backoff_cap_s: float = 30.0,
+        grace_s: float = LEASE_BREAK_GRACE_S,
     ) -> Optional[str]:
         """Break one expired lease, consuming the dead worker's attempt.
 
@@ -520,7 +539,7 @@ class RunLedger:
         won the break.
         """
         lease = self.read_lease(uid)
-        if lease is None or not lease.expired():
+        if lease is None or not lease.expired(grace_s=grace_s):
             return None
         path = self._lease_path(uid)
         tombstone = path.parent / f".expired-{breaker}-{uuid.uuid4().hex[:8]}"

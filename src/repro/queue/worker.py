@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from ..eval.engine import ArtifactCache, execute_unit
 from .ledger import (
+    LEASE_BREAK_GRACE_S,
     STATE_DONE,
     STATE_FAILED,
     STATE_PENDING,
@@ -221,7 +222,10 @@ class QueueWorker:
         for entry in ready:
             lease = self.ledger.read_lease(entry.id)
             if lease is not None:
-                if lease.expired(now):
+                # Break only past the grace margin: expiry stamps carry the
+                # holder's clock, and judging them with ours at the exact
+                # boundary would kill healthy leases under clock skew.
+                if lease.expired(now, grace_s=LEASE_BREAK_GRACE_S):
                     self.ledger.record_expired_attempt(
                         entry.id,
                         self.worker_id,

@@ -139,6 +139,14 @@ def _add_common_options(parser: argparse.ArgumentParser, suppress: bool) -> None
         "are bit-identical at any job count)",
     )
     parser.add_argument(
+        "--executor",
+        choices=("process", "thread"),
+        default=argparse.SUPPRESS if suppress else "process",
+        help="worker pool flavour for --jobs > 1: separate processes "
+        "(default) or threads (cheaper startup; numpy releases the GIL for "
+        "the heavy kernels). Results are bit-identical either way",
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=argparse.SUPPRESS if suppress else None,
@@ -481,7 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _engine_options(args: argparse.Namespace) -> Dict[str, object]:
-    """``jobs``/``cache`` engine options from parsed CLI flags.
+    """``jobs``/``cache``/``executor`` engine options from parsed CLI flags.
 
     Caching defaults to **on** for the CLI (at ``$REPRO_CACHE_DIR`` or
     ``~/.cache/repro``); ``--no-cache`` disables it, ``--cache-dir`` moves it.
@@ -492,7 +500,8 @@ def _engine_options(args: argparse.Namespace) -> Dict[str, object]:
     else:
         cache_dir = getattr(args, "cache_dir", None)
         cache = cache_dir if cache_dir is not None else True
-    return {"jobs": jobs, "cache": cache}
+    executor = getattr(args, "executor", "process")
+    return {"jobs": jobs, "cache": cache, "executor": executor}
 
 
 def run_artefact(
@@ -501,13 +510,14 @@ def run_artefact(
     output_dir: Optional[Path],
     jobs: int = 1,
     cache: object = None,
+    executor: str = "process",
 ) -> str:
     """Run one artefact and optionally persist its rendering.
 
     Artefacts exposing per-record rows under a ``"csv_rows"`` key (the
     robustness matrix does) are additionally exported as ``<name>.csv``.
     """
-    result = ARTEFACTS[name](config, jobs=jobs, cache=cache)
+    result = ARTEFACTS[name](config, jobs=jobs, cache=cache, executor=executor)
     text = result["text"]
     if output_dir is not None:
         output_dir.mkdir(parents=True, exist_ok=True)
@@ -641,11 +651,16 @@ def _cmd_artefacts(
     output_dir: Optional[Path],
     jobs: int = 1,
     cache: object = None,
+    executor: str = "process",
 ) -> int:
     config = _PROFILES[profile]()
     for name in names:
         print(f"=== {name} ({profile} profile) ===")
-        print(run_artefact(name, config, output_dir, jobs=jobs, cache=cache))
+        print(
+            run_artefact(
+                name, config, output_dir, jobs=jobs, cache=cache, executor=executor
+            )
+        )
         print()
     return 0
 

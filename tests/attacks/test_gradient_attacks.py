@@ -163,3 +163,62 @@ class TestMIM:
         mask = threat.target_mask(features.shape[1])
         adversarial = MIMAttack(threat).perturb(features, labels, QuadraticVictim())
         np.testing.assert_allclose(adversarial[:, ~mask], features[:, ~mask])
+
+
+class TestOneDimensionalInputs:
+    """``perturb`` accepts a single fingerprint (1-D) as well as a batch."""
+
+    @pytest.mark.parametrize(
+        "make_attack",
+        [
+            lambda t: FGSMAttack(t),
+            lambda t: PGDAttack(t, random_start=False),
+            lambda t: MIMAttack(t),
+        ],
+        ids=["fgsm", "pgd", "mim"],
+    )
+    def test_single_fingerprint_matches_batch_row(self, features, labels, make_attack):
+        """Regression: MIM crashed on 1-D input; now every attack must treat a
+        lone fingerprint exactly like the corresponding one-row batch."""
+        threat = ThreatModel(epsilon=0.2, phi_percent=50.0, seed=1)
+        attack = make_attack(threat)
+        row = attack.perturb(features[2], labels[2], QuadraticVictim())
+        assert row.shape == features[2].shape  # squeezed back to 1-D
+        batch = attack.perturb(features[2:3], labels[2:3], QuadraticVictim())
+        np.testing.assert_array_equal(row, batch[0])
+
+
+class TestBatchedVsRowwiseIdentity:
+    """One batched ``perturb`` call is bit-identical to a per-row loop.
+
+    This is the invariant that let the engine swap its per-fingerprint
+    crafting loop for a single batched call: every step of FGSM/PGD/MIM is
+    elementwise (sign, clip, per-row momentum normalisation), so batching
+    changes the work schedule, never the bits.  PGD is checked without its
+    random start — that draws ONE seeded stream across the batch, so a
+    per-row loop legitimately sees different noise.
+    """
+
+    @pytest.mark.parametrize(
+        "make_attack",
+        [
+            lambda t: FGSMAttack(t),
+            lambda t: PGDAttack(t, random_start=False),
+            lambda t: MIMAttack(t),
+        ],
+        ids=["fgsm", "pgd", "mim"],
+    )
+    def test_bitwise(self, features, labels, make_attack):
+        threat = ThreatModel(epsilon=0.3, phi_percent=50.0, seed=5)
+        attack = make_attack(threat)
+        batched = attack.perturb(features, labels, QuadraticVictim())
+        rowwise = np.stack(
+            [
+                attack.perturb(features[i], labels[i], QuadraticVictim())
+                for i in range(features.shape[0])
+            ]
+        )
+        assert batched.shape == rowwise.shape
+        assert np.array_equal(
+            batched.view(np.uint64), rowwise.view(np.uint64)
+        ), "batched attack diverged bitwise from the per-fingerprint loop"

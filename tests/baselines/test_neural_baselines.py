@@ -160,3 +160,38 @@ class TestWiDeepGradients:
     def test_gradient_before_fit_raises(self):
         with pytest.raises(RuntimeError):
             WiDeepLocalizer().loss_gradient(np.zeros((1, 4)), np.zeros(1, dtype=int))
+
+
+class TestEpochLossWeighting:
+    def test_partial_final_batch_is_sample_weighted(self, tiny_campaign, monkeypatch):
+        """Regression: the epoch loss is a per-sample mean, not a per-batch mean.
+
+        With a batch size that does not divide the training set, the final
+        short batch used to count as a full batch's worth of loss, biasing
+        ``loss_history`` toward whatever samples land in the remainder.  Spy
+        on the per-batch losses and check the recorded epoch value is their
+        size-weighted average.
+        """
+        from repro.nn import fastpath
+
+        train = tiny_campaign.train
+        num_samples = train.features.shape[0]
+        batch_size = num_samples - 1  # batches of (n - 1) and 1
+        recorded = []
+        original = fastpath.train_step_ce
+
+        def spy(*args, **kwargs):
+            loss = original(*args, **kwargs)
+            recorded.append(loss)
+            return loss
+
+        monkeypatch.setattr(fastpath, "train_step_ce", spy)
+        model = DNNLocalizer(
+            hidden_dims=(16,), epochs=1, batch_size=batch_size, seed=0
+        ).fit(train)
+        assert len(recorded) == 2
+        weighted = np.average(recorded, weights=[num_samples - 1, 1])
+        assert model.loss_history[0] == pytest.approx(weighted, abs=0.0)
+        # The plain per-batch mean is measurably different on this data, so
+        # the test genuinely distinguishes the two weightings.
+        assert model.loss_history[0] != pytest.approx(np.mean(recorded), abs=1e-12)

@@ -82,13 +82,27 @@ class TestDeterminism:
         run_experiment(quick_spec, cache=warm_cache)
         assert warm_cache.stats.misses == 0
         assert warm_cache.stats.hits > 0
-        # 1 campaign + 2 models + 2 models x 2 devices x 4 attacked batches.
-        assert warm_cache.stats.hits == 1 + 2 + 2 * 2 * 4
+        # 1 campaign + 2 models + 2 models x 2 devices x 1 crafted grid: all
+        # four FGSM scenarios of a unit are crafted (and cached) as a single
+        # batched artefact per attack method, not one artefact per scenario.
+        assert warm_cache.stats.hits == 1 + 2 + 2 * 2 * 1
 
     def test_parallel_warm_cache_identical(self, quick_spec, serial_records, tmp_path):
         run_experiment(quick_spec, cache=tmp_path / "cache")
         warm_parallel = run_experiment(quick_spec, jobs=3, cache=tmp_path / "cache")
         assert warm_parallel.to_records() == serial_records
+
+    def test_thread_executor_matches_serial_bit_for_bit(
+        self, quick_spec, serial_records
+    ):
+        """jobs=N over a thread pool is the third identical transport."""
+        threaded = run_experiment(quick_spec, jobs=2, executor="thread")
+        assert threaded.to_records() == serial_records
+
+    def test_unknown_executor_rejected(self):
+        config = EvaluationConfig.quick()
+        with pytest.raises(ValueError, match="executor"):
+            ExecutionEngine(config, jobs=2, executor="fork-bomb")
 
 
 class TestArtifactCache:

@@ -485,3 +485,95 @@ class TestLosses:
         predictions = rng.standard_normal(targets.shape)
         loss = MSELoss()
         gradcheck(lambda x: loss(x, targets), predictions)
+
+
+# ----------------------------------------------------------------------
+# Vectorized kernels vs their per-position loop references (bitwise)
+# ----------------------------------------------------------------------
+def _conv1d_loop(layer, inputs):
+    """Per-output-position Conv1d — the implementation the gather replaced."""
+    batch, channels, length = inputs.shape
+    if layer.padding > 0:
+        left = Tensor(np.zeros((batch, channels, layer.padding)))
+        right = Tensor(np.zeros((batch, channels, layer.padding)))
+        inputs = Tensor.concatenate([left, inputs, right], axis=2)
+        length = length + 2 * layer.padding
+    out_length = (length - layer.kernel_size) // layer.stride + 1
+    columns = []
+    for position in range(out_length):
+        start = position * layer.stride
+        patch = inputs[:, :, start : start + layer.kernel_size]
+        columns.append(patch.reshape(batch, channels * layer.kernel_size))
+    stacked = Tensor.stack(columns, axis=1)
+    return (stacked.matmul(layer.weight) + layer.bias).transpose(0, 2, 1)
+
+
+def _maxpool1d_loop(layer, inputs):
+    """Per-window MaxPool1d reference."""
+    batch, channels, length = inputs.shape
+    out_length = (length - layer.kernel_size) // layer.stride + 1
+    columns = []
+    for position in range(out_length):
+        start = position * layer.stride
+        window = inputs[:, :, start : start + layer.kernel_size]
+        columns.append(window.max(axis=2))
+    return Tensor.stack(columns, axis=2)
+
+
+def _bitwise_equal(a, b):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return a.shape == b.shape and bool(np.all(a.view(np.uint64) == b.view(np.uint64)))
+
+
+class TestVectorizedKernelIdentity:
+    """The gather-based Conv1d/MaxPool1d must match the loops *bitwise*.
+
+    Tolerance-based gradchecks cannot catch a reordering of the gradient
+    accumulation; these tests pin the stronger engine invariant that the
+    vectorization changed nothing at all.  Overlapping windows (stride <
+    kernel) are the hard case for the conv backward — the scatter-add must
+    accumulate window gradients in the same ascending order the loop did —
+    and integer-valued inputs force max-pool ties through the backward.
+    """
+
+    @pytest.mark.parametrize(
+        "kernel,stride,padding",
+        [(5, 2, 2), (3, 1, 1), (4, 4, 0), (2, 1, 0)],
+        ids=["strided", "overlap", "disjoint", "dense-overlap"],
+    )
+    def test_conv1d_forward_and_grads_bitwise(self, kernel, stride, padding):
+        rng = np.random.default_rng(13)
+        layer = Conv1d(2, 3, kernel, stride=stride, padding=padding,
+                       rng=np.random.default_rng(7))
+        data = rng.standard_normal((4, 2, 17))
+        fast_in = Tensor(data.copy(), requires_grad=True)
+        fast_out = layer(fast_in)
+        fast_out.sum().backward()
+        fast_grads = [fast_in.grad.copy(), layer.weight.grad.copy(), layer.bias.grad.copy()]
+        layer.zero_grad()
+        loop_in = Tensor(data.copy(), requires_grad=True)
+        loop_out = _conv1d_loop(layer, loop_in)
+        loop_out.sum().backward()
+        loop_grads = [loop_in.grad, layer.weight.grad, layer.bias.grad]
+        layer.zero_grad()
+        assert _bitwise_equal(fast_out.data, loop_out.data)
+        for fast, loop in zip(fast_grads, loop_grads):
+            assert _bitwise_equal(fast, loop)
+
+    @pytest.mark.parametrize("kernel,stride", [(2, 2), (3, 1), (2, 1)],
+                             ids=["disjoint", "overlap", "dense"])
+    def test_maxpool1d_with_ties_bitwise(self, kernel, stride):
+        rng = np.random.default_rng(21)
+        # Small integers guarantee repeated values inside windows: the
+        # backward's tie handling must route gradients identically.
+        data = rng.integers(-2, 3, size=(4, 3, 16)).astype(np.float64)
+        layer = MaxPool1d(kernel, stride=stride)
+        fast_in = Tensor(data.copy(), requires_grad=True)
+        fast_out = layer(fast_in)
+        fast_out.sum().backward()
+        loop_in = Tensor(data.copy(), requires_grad=True)
+        loop_out = _maxpool1d_loop(layer, loop_in)
+        loop_out.sum().backward()
+        assert _bitwise_equal(fast_out.data, loop_out.data)
+        assert _bitwise_equal(fast_in.grad, loop_in.grad)

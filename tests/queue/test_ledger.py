@@ -184,7 +184,7 @@ class TestLeases:
         uid = ledger.units[0].id
         ledger.acquire_lease(uid, "dead-worker", ttl_s=0.0)  # expires instantly
         outcome = ledger.record_expired_attempt(
-            uid, "breaker", max_attempts=3, backoff_s=0.0
+            uid, "breaker", max_attempts=3, backoff_s=0.0, grace_s=0.0
         )
         assert outcome == STATE_PENDING
         assert ledger.read_lease(uid) is None
@@ -198,6 +198,55 @@ class TestLeases:
         ledger.acquire_lease(uid, "w1", ttl_s=60.0)
         assert ledger.record_expired_attempt(uid, "w2", 3, 0.0) is None
         assert ledger.read_lease(uid).worker == "w1"
+
+    def test_nominally_expired_lease_survives_within_grace(self, spec, cache):
+        """A lease just past expiry is NOT breakable until the grace elapses.
+
+        This is the clock-skew guard: the expiry stamp carries the holder's
+        wall clock, so a breaker whose clock runs a little ahead sees the
+        lease "expired" the moment it is written — and before the grace fix
+        it would book the healthy holder's attempt as a death.
+        """
+        ledger = RunLedger.submit(spec, cache)
+        uid = ledger.units[0].id
+        ledger.acquire_lease(uid, "skewed-holder", ttl_s=0.0)
+        # Default grace applies: the break must be refused even though the
+        # nominal expiry has passed.
+        assert ledger.record_expired_attempt(uid, "breaker", 3, 0.0) is None
+        assert ledger.read_lease(uid).worker == "skewed-holder"
+        assert ledger.unit_state(uid).attempts == 0
+
+    def test_backwards_clock_on_holder_does_not_lose_lease(self, spec, cache):
+        """A holder whose clock stepped backwards still holds within grace.
+
+        Simulated by writing a lease whose expiry is slightly in the past
+        relative to the breaker's clock (what a backwards NTP step on the
+        holder produces).  The breaker must wait out the grace margin, and a
+        heartbeat renewal in that window must restore the lease to live.
+        """
+        import time as _time
+
+        from repro.queue import LEASE_BREAK_GRACE_S, Lease
+
+        ledger = RunLedger.submit(spec, cache)
+        uid = ledger.units[0].id
+        ledger.acquire_lease(uid, "holder", ttl_s=30.0)
+        now = _time.time()
+        skewed = Lease(
+            worker="holder",
+            acquired_unix=now - 31.0,
+            expires_unix=now - 1.0,  # one second "expired" by our clock
+            renewals=0,
+        )
+        assert skewed.expired(now)  # nominally expired...
+        assert not skewed.expired(now, grace_s=LEASE_BREAK_GRACE_S)  # ...but not breakable
+        # Far past the grace the breaker may act.
+        assert skewed.expired(now + LEASE_BREAK_GRACE_S + 1.0, grace_s=LEASE_BREAK_GRACE_S)
+        # A heartbeat renewal inside the grace window keeps the lease.
+        assert ledger.renew_lease(uid, "holder", ttl_s=30.0)
+        assert not ledger.read_lease(uid).expired(
+            _time.time(), grace_s=LEASE_BREAK_GRACE_S
+        )
 
 
 class TestResultsAndWorkers:
