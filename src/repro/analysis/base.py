@@ -1,0 +1,87 @@
+"""Lint-rule interface and finding model for ``repro lint``.
+
+A rule is a class registered under its rule id (``"R1"`` … ``"R5"``) in the
+fifth component registry (:data:`repro.registry.LINT_RULES`); ``check``
+receives the parsed :class:`~repro.analysis.walker.SourceTree` and returns
+:class:`LintFinding` objects.  Findings carry a content-derived fingerprint
+(rule id + file + line *text* + occurrence index — deliberately not the line
+*number*, so unrelated edits above a finding don't churn the baseline).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from .walker import SourceModule, SourceTree
+
+__all__ = ["LintFinding", "LintRule", "fingerprint_findings"]
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One invariant violation found by a lint rule."""
+
+    rule: str  #: rule id, e.g. ``"R3"``
+    path: str  #: posix path relative to the tree root's parent (``repro/...``)
+    line: int  #: 1-indexed line number
+    message: str
+    fingerprint: str = ""  #: assigned by :func:`fingerprint_findings`
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+class LintRule:
+    """Base class of every registered lint rule.
+
+    Subclasses set ``rule_id`` and ``title`` and implement :meth:`check`.
+    ``finding`` is the one constructor rules should use — it threads the rule
+    id through so findings, pragmas and baselines always agree on it.
+    """
+
+    rule_id: str = "R0"
+    title: str = ""
+
+    def check(self, tree: SourceTree) -> List[LintFinding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(self, module: SourceModule, line: int, message: str) -> LintFinding:
+        return LintFinding(
+            rule=self.rule_id, path=module.relpath, line=line, message=message
+        )
+
+
+def fingerprint_findings(findings: List[LintFinding], tree: SourceTree) -> List[LintFinding]:
+    """Assign stable fingerprints and return the findings sorted.
+
+    The fingerprint hashes ``rule | path | stripped line text | occurrence``
+    where *occurrence* disambiguates identical lines in one file.  Inserting
+    or deleting unrelated lines therefore never invalidates a baseline entry;
+    editing the flagged line itself does — which is exactly when a human
+    should re-judge it.
+    """
+    counters: Dict[Tuple[str, str, str], int] = {}
+    fingerprinted: List[LintFinding] = []
+    for item in sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message)):
+        module = tree.module_for(item.path)
+        text = module.line_text(item.line).strip() if module is not None else ""
+        key = (item.rule, item.path, text)
+        occurrence = counters.get(key, 0)
+        counters[key] = occurrence + 1
+        digest = hashlib.sha256(
+            "|".join((item.rule, item.path, text, str(occurrence))).encode("utf-8")
+        ).hexdigest()[:16]
+        fingerprinted.append(replace(item, fingerprint=digest))
+    return fingerprinted

@@ -1,0 +1,144 @@
+"""The lint baseline: accepted findings that CI does not gate on.
+
+``lint-baseline.json`` (committed at the repo root) lists findings that were
+judged and explicitly sanctioned, each with a human justification.  The lint
+gate therefore fails on **new** findings only: pre-existing accepted ones are
+reported as "baselined", and entries whose finding no longer exists are
+reported as stale (and pruned by ``repro lint --update-baseline``).
+
+Matching is by fingerprint (rule + file + line text + occurrence — see
+:func:`repro.analysis.base.fingerprint_findings`), so unrelated edits never
+churn the baseline, while editing a sanctioned line re-surfaces it for
+judgement.  The file itself is written through
+:func:`repro.atomic.write_text_atomic` — the linter practices what it lints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from ..atomic import write_text_atomic
+from .base import LintFinding
+
+__all__ = ["BaselineEntry", "Baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding, with the reason it is acceptable."""
+
+    fingerprint: str
+    rule: str
+    path: str
+    line: int
+    message: str
+    justification: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BaselineEntry":
+        return cls(
+            fingerprint=str(data["fingerprint"]),
+            rule=str(data.get("rule", "")),
+            path=str(data.get("path", "")),
+            line=int(data.get("line", 0)),
+            message=str(data.get("message", "")),
+            justification=str(data.get("justification", "")),
+        )
+
+    @classmethod
+    def from_finding(cls, finding: LintFinding, justification: str = "") -> "BaselineEntry":
+        return cls(
+            fingerprint=finding.fingerprint,
+            rule=finding.rule,
+            path=finding.path,
+            line=finding.line,
+            message=finding.message,
+            justification=justification,
+        )
+
+
+@dataclass
+class Baseline:
+    """The set of accepted findings, addressable by fingerprint."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        document = json.loads(path.read_text())
+        if document.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported lint-baseline version {document.get('version')!r} "
+                f"in {path} (expected {_FORMAT_VERSION})"
+            )
+        return cls(
+            entries=[BaselineEntry.from_dict(item) for item in document["findings"]]
+        )
+
+    def save(self, path: Path) -> Path:
+        document = {
+            "version": _FORMAT_VERSION,
+            "findings": [entry.as_dict() for entry in self.entries],
+        }
+        return write_text_atomic(
+            Path(path), json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+
+    def fingerprints(self) -> Dict[str, BaselineEntry]:
+        return {entry.fingerprint: entry for entry in self.entries}
+
+    def split(
+        self, findings: Sequence[LintFinding]
+    ) -> Tuple[List[LintFinding], List[LintFinding], List[BaselineEntry]]:
+        """``(new, baselined, stale)`` partition of ``findings`` against self.
+
+        *new* findings are absent from the baseline (the CI gate), *baselined*
+        ones are accepted, *stale* entries sanction findings that no longer
+        exist (fixed code, or an edited line whose fingerprint changed).
+        """
+        known = self.fingerprints()
+        new = [f for f in findings if f.fingerprint not in known]
+        baselined = [f for f in findings if f.fingerprint in known]
+        present = {f.fingerprint for f in findings}
+        stale = [entry for entry in self.entries if entry.fingerprint not in present]
+        return new, baselined, stale
+
+    def updated(self, findings: Sequence[LintFinding]) -> "Baseline":
+        """A baseline accepting exactly ``findings``, keeping justifications.
+
+        Entries for vanished findings are pruned; surviving fingerprints keep
+        their justification strings so re-running ``--update-baseline`` never
+        erases the documented reasoning.
+        """
+        known = self.fingerprints()
+        entries = [
+            BaselineEntry.from_finding(
+                finding,
+                justification=(
+                    known[finding.fingerprint].justification
+                    if finding.fingerprint in known
+                    else ""
+                ),
+            )
+            for finding in findings
+        ]
+        return Baseline(entries=sorted(entries, key=lambda e: (e.path, e.line, e.rule)))

@@ -1,0 +1,152 @@
+"""Lint execution and reporting: ``run_lint`` plus table/JSON renderings.
+
+Mirrors the queue's reporting UX: a human-readable aligned table by default,
+``--json`` for the machine-readable document (uploaded as a CI artifact),
+and the baseline partition (new / baselined / stale) spelled out in both.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..eval.reporting import ascii_table
+from ..registry import LINT_RULES
+from .base import LintFinding, fingerprint_findings
+from .baseline import BaselineEntry
+from .walker import SourceTree
+
+__all__ = ["LintReport", "run_lint", "default_root", "default_baseline_path",
+           "render_report", "report_document"]
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory — the default lint target."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def default_baseline_path(root: Path) -> Path:
+    """Where the baseline lives: CWD first, then the repo root above ``src``."""
+    cwd_candidate = Path.cwd() / "lint-baseline.json"
+    if cwd_candidate.exists():
+        return cwd_candidate
+    repo_root = Path(root).resolve().parent.parent
+    repo_candidate = repo_root / "lint-baseline.json"
+    if repo_candidate.exists() or (repo_root / "pyproject.toml").exists():
+        return repo_candidate
+    return cwd_candidate
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    root: str
+    rules: List[str]
+    findings: List[LintFinding]  #: unsuppressed findings (pragmas applied)
+    suppressed: List[Dict[str, object]] = field(default_factory=list)
+    modules_scanned: int = 0
+    duration_s: float = 0.0
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[str]] = None,
+    package: Optional[str] = None,
+) -> LintReport:
+    """Parse the tree once and run the requested (default: all) lint rules.
+
+    Pragma-suppressed findings are filtered out of ``findings`` and recorded
+    under ``suppressed`` with their justifications, so reports still show
+    what was sanctioned in-source.
+    """
+    started = time.monotonic()
+    root = Path(root) if root is not None else default_root()
+    tree = SourceTree.load(root, package=package)
+    rule_ids = [LINT_RULES.resolve(name) for name in rules] if rules else LINT_RULES.names()
+    raw: List[LintFinding] = []
+    for rule_id in rule_ids:
+        raw.extend(LINT_RULES.create(rule_id).check(tree))
+    raw = fingerprint_findings(raw, tree)
+
+    findings: List[LintFinding] = []
+    suppressed: List[Dict[str, object]] = []
+    for item in raw:
+        module = tree.module_for(item.path)
+        justification = (
+            module.suppression(item.rule, item.line) if module is not None else None
+        )
+        if justification is None:
+            findings.append(item)
+        else:
+            suppressed.append({**item.as_dict(), "justification": justification})
+    return LintReport(
+        root=str(root),
+        rules=rule_ids,
+        findings=findings,
+        suppressed=suppressed,
+        modules_scanned=len(tree.modules),
+        duration_s=time.monotonic() - started,
+    )
+
+
+def report_document(
+    report: LintReport,
+    new: Sequence[LintFinding],
+    baselined: Sequence[LintFinding],
+    stale: Sequence[BaselineEntry],
+) -> Dict[str, object]:
+    """The machine-readable lint report (``repro lint --json``)."""
+    return {
+        "kind": "lint-report",
+        "root": report.root,
+        "rules": report.rules,
+        "modules_scanned": report.modules_scanned,
+        "duration_s": round(report.duration_s, 3),
+        "counts": {
+            "total": len(report.findings),
+            "new": len(new),
+            "baselined": len(baselined),
+            "stale_baseline_entries": len(stale),
+            "suppressed_in_source": len(report.suppressed),
+        },
+        "new": [item.as_dict() for item in new],
+        "baselined": [item.as_dict() for item in baselined],
+        "stale_baseline_entries": [entry.as_dict() for entry in stale],
+        "suppressed_in_source": list(report.suppressed),
+        "ok": not new,
+    }
+
+
+def render_report(
+    report: LintReport,
+    new: Sequence[LintFinding],
+    baselined: Sequence[LintFinding],
+    stale: Sequence[BaselineEntry],
+) -> str:
+    """Human rendering: a findings table plus the baseline summary line."""
+    lines: List[str] = []
+    if new:
+        rows = [[f.rule, f.location, f.message] for f in new]
+        lines.append(ascii_table(rows, headers=["rule", "location", "finding"]))
+    summary = (
+        f"{len(new)} new finding(s), {len(baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed in source — "
+        f"{report.modules_scanned} modules, rules {', '.join(report.rules)}, "
+        f"{report.duration_s:.2f}s"
+    )
+    lines.append(summary)
+    if stale:
+        lines.append(
+            f"warning: {len(stale)} stale baseline entry(ies) no longer match "
+            "any finding — run `repro lint --update-baseline` to prune:"
+        )
+        for entry in stale:
+            lines.append(f"  - [{entry.rule}] {entry.path}:{entry.line} {entry.message}")
+    if not new:
+        lines.append("OK: no findings outside the baseline")
+    return "\n".join(lines)

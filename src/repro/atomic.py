@@ -1,0 +1,72 @@
+"""Atomic file writes: the one durable-write primitive of the library.
+
+Everything shared between concurrent processes — cache artefacts, queue-ledger
+manifests and unit states, store manifests, exported result CSVs — must be
+written through :func:`write_atomic` (or the :func:`write_text_atomic`
+convenience wrapper) so a reader can never observe a partially-written file
+and a killed writer can never leave a torn one behind.
+
+This module is dependency-free on purpose: it sits below every other layer
+(``data``, ``eval``, ``queue``, ``serve``) so any of them can adopt the
+discipline without import cycles.  The ``repro lint`` static analyser's R3
+rule enforces that write-mode ``open`` calls in durable-state modules route
+through here.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+__all__ = ["write_atomic", "write_text_atomic"]
+
+
+def write_atomic(path: Path, writer: Callable[[Path], Optional[Path]]) -> None:
+    """Write ``path`` atomically: ``writer(temp_path)`` then ``os.replace``.
+
+    Readers can never observe a partially-written file, which makes this the
+    required write discipline for everything shared between concurrent
+    processes — cache artefacts, queue-ledger manifests and unit states.
+    ``writer`` may return the path it actually produced (e.g. ``np.savez``
+    appends ``.npz``); both the temp file and that sibling are cleaned up on
+    failure so a crashed write never litters the directory.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+    os.close(handle)
+    temp_path = Path(temp_name)
+    produced: Optional[Path] = None
+    try:
+        produced = writer(temp_path)
+        os.replace(produced if produced else temp_path, path)
+    except BaseException:
+        for leftover in (temp_path, produced):
+            if leftover is not None and leftover.exists():
+                leftover.unlink()
+        raise
+    else:
+        # Success renamed the source away; only a writer that produced a
+        # sibling (e.g. ``np.savez`` appending ``.npz``) leaves the original
+        # temp file to clean up.
+        if produced is not None and produced != temp_path and temp_path.exists():
+            temp_path.unlink()
+
+
+def write_text_atomic(
+    path: Union[str, Path], text: str, newline: Optional[str] = None
+) -> Path:
+    """Atomically write ``text`` to ``path`` (temp file + ``os.replace``).
+
+    ``newline`` follows :meth:`io.TextIOWrapper` semantics (pass ``""`` for
+    CSV payloads whose rows already carry ``\\r\\n`` terminators).
+    """
+    path = Path(path)
+
+    def writer(temp_path: Path) -> None:
+        with temp_path.open("w", newline=newline) as handle:
+            handle.write(text)
+
+    write_atomic(path, writer)
+    return path

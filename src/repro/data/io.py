@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..atomic import write_atomic
 from .fingerprint import FingerprintDataset
 
 __all__ = ["save_dataset_csv", "load_dataset_csv"]
@@ -30,27 +31,34 @@ def _ap_column_names(num_aps: int) -> List[str]:
 
 
 def save_dataset_csv(dataset: FingerprintDataset, path: PathLike) -> Path:
-    """Write ``dataset`` to ``path`` in the EPIC-CSU-compatible CSV layout."""
+    """Write ``dataset`` to ``path`` in the EPIC-CSU-compatible CSV layout.
+
+    The write is atomic (temp file + ``os.replace``): a run killed mid-export
+    can never leave a truncated CSV behind for a later run to ingest.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     ap_columns = _ap_column_names(dataset.num_aps)
     header = ap_columns + ["RP", "X", "Y", "DEVICE", "BUILDING"]
     positions = dataset.positions_of()
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(header)
-        for row_index in range(dataset.num_samples):
-            rss_values = [f"{value:.2f}" for value in dataset.rss_dbm[row_index]]
-            writer.writerow(
-                rss_values
-                + [
-                    int(dataset.labels[row_index]),
-                    f"{positions[row_index, 0]:.3f}",
-                    f"{positions[row_index, 1]:.3f}",
-                    str(dataset.devices[row_index]),
-                    dataset.building,
-                ]
-            )
+
+    def write_rows(temp_path: Path) -> None:
+        with temp_path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            for row_index in range(dataset.num_samples):
+                rss_values = [f"{value:.2f}" for value in dataset.rss_dbm[row_index]]
+                writer.writerow(
+                    rss_values
+                    + [
+                        int(dataset.labels[row_index]),
+                        f"{positions[row_index, 0]:.3f}",
+                        f"{positions[row_index, 1]:.3f}",
+                        str(dataset.devices[row_index]),
+                        dataset.building,
+                    ]
+                )
+
+    write_atomic(path, write_rows)
     return path
 
 

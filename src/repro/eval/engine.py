@@ -68,7 +68,6 @@ import hashlib
 import json
 import os
 import pickle
-import tempfile
 import threading
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -92,6 +91,7 @@ from typing import (
 
 import numpy as np
 
+from ..atomic import write_atomic
 from ..attacks.base import GradientProvider, ThreatModel
 from ..attacks.batched import craft_grid
 from ..attacks.mitm import SignalSpoofingAttack, attack_dataset, replay_survey
@@ -150,35 +150,10 @@ def default_cache_dir() -> Path:
     return Path("~/.cache/repro").expanduser()
 
 
-def write_atomic(path: Path, writer) -> None:
-    """Write ``path`` atomically: ``writer(temp_path)`` then ``os.replace``.
-
-    Readers can never observe a partially-written file, which makes this the
-    required write discipline for everything shared between concurrent
-    processes — cache artefacts, queue-ledger manifests and unit states.
-    ``writer`` may return the path it actually produced (e.g. ``np.savez``
-    appends ``.npz``); both the temp file and that sibling are cleaned up on
-    failure so a crashed write never litters the directory.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
-    os.close(handle)
-    temp_path = Path(temp_name)
-    produced: Optional[Path] = None
-    try:
-        produced = writer(temp_path)
-        os.replace(produced if produced else temp_path, path)
-    except BaseException:
-        for leftover in (temp_path, produced):
-            if leftover is not None and leftover.exists():
-                leftover.unlink()
-        raise
-    else:
-        # Success renamed the source away; only a writer that produced a
-        # sibling (e.g. ``np.savez`` appending ``.npz``) leaves the original
-        # temp file to clean up.
-        if produced is not None and produced != temp_path and temp_path.exists():
-            temp_path.unlink()
+# ``write_atomic`` now lives in :mod:`repro.atomic` (dependency-free, so the
+# data/reporting layers can use it without importing the engine); it stays
+# re-exported here because the cache, the queue ledger and external callers
+# historically imported it from this module.
 
 
 # ----------------------------------------------------------------------

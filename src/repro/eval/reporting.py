@@ -15,6 +15,8 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..atomic import write_atomic
+
 __all__ = ["ascii_table", "text_heatmap", "results_to_csv", "format_factor_table"]
 
 PathLike = Union[str, Path]
@@ -106,15 +108,22 @@ def format_factor_table(
 
 
 def results_to_csv(rows: Sequence[Dict[str, object]], path: PathLike) -> Path:
-    """Write result rows (dictionaries) to a CSV file."""
+    """Write result rows (dictionaries) to a CSV file.
+
+    The write is atomic (temp file + ``os.replace``), so a killed worker or a
+    crash mid-export can never leave a torn ``results.csv`` behind.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     if not rows:
         raise ValueError("no rows to write")
     fieldnames = list(rows[0].keys())
-    with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=fieldnames)
-        writer.writeheader()
-        for row in rows:
-            writer.writerow(row)
+
+    def write_rows(temp_path: Path) -> None:
+        with temp_path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            writer.writeheader()
+            for row in rows:
+                writer.writerow(row)
+
+    write_atomic(path, write_rows)
     return path

@@ -11,6 +11,7 @@ autoencoder, and WiDeep's de-noising autoencoder.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -312,7 +313,12 @@ class Sequential(Module):
         return self
 
 
+#: Cached sliding-window gather indices, shared by every Conv1d/MaxPool1d in
+#: the process.  Entries are deterministic per key and marked read-only, but
+#: thread-executor engine runs mutate the dict concurrently, so the insert is
+#: lock-guarded (the repro-lint R4 shared-state rule enforces this).
 _WINDOW_INDEX_CACHE: Dict[tuple, np.ndarray] = {}
+_WINDOW_INDEX_LOCK = threading.Lock()
 
 
 def _window_index(out_length: int, kernel_size: int, stride: int) -> np.ndarray:
@@ -324,7 +330,8 @@ def _window_index(out_length: int, kernel_size: int, stride: int) -> np.ndarray:
             np.arange(out_length)[:, None] * stride + np.arange(kernel_size)[None, :]
         )
         cached.setflags(write=False)
-        _WINDOW_INDEX_CACHE[key] = cached
+        with _WINDOW_INDEX_LOCK:
+            _WINDOW_INDEX_CACHE[key] = cached
     return cached
 
 

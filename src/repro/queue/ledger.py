@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
 
+from ..atomic import write_atomic
 from ..eval.engine import (
     ArtifactCache,
     ExecutionPlan,
@@ -57,7 +58,6 @@ from ..eval.engine import (
     unit_id,
     unit_kind,
     unit_title,
-    write_atomic,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -487,6 +487,9 @@ class RunLedger:
         path = self._lease_path(uid)
         path.parent.mkdir(parents=True, exist_ok=True)
         temp = path.parent / f".claim-{worker}-{uuid.uuid4().hex[:8]}"
+        # repro-lint: allow[R3] private temp name, published atomically via
+        # the os.link below — the link either materialises the complete file
+        # or fails; write_atomic's os.replace would clobber a rival's lease.
         temp.write_text(json.dumps(lease.as_dict()) + "\n")
         try:
             os.link(temp, path)

@@ -41,6 +41,12 @@ smoothing, the online adversarial-fingerprint detector — see
 :class:`repro.defenses.DefenseSpec` in experiment specs
 (``repro run --defense curriculum``) and as serving guards.
 
+Lint rules — the AST-based invariant checks ``repro lint`` runs over the
+source tree (determinism, cache-key completeness, atomic-write discipline,
+shared-state thread-safety, registry hygiene — see :mod:`repro.analysis`) —
+register through :func:`register_lint_rule` / :func:`make_lint_rule` and are
+selectable via ``repro lint --rules``.
+
 Lookups are case-insensitive (``make_localizer("knn")`` works) and unknown
 names raise :class:`RegistryError` (a :class:`KeyError`) naming the closest
 registered spellings.  The registries populate themselves lazily: the first
@@ -65,18 +71,22 @@ __all__ = [
     "ATTACKS",
     "SCENARIOS",
     "DEFENSES",
+    "LINT_RULES",
     "register_localizer",
     "register_attack",
     "register_scenario",
     "register_defense",
+    "register_lint_rule",
     "make_localizer",
     "make_attack",
     "make_scenario",
     "make_defense",
+    "make_lint_rule",
     "available_localizers",
     "available_attacks",
     "available_scenarios",
     "available_defenses",
+    "available_lint_rules",
 ]
 
 
@@ -278,6 +288,11 @@ SCENARIOS = Registry("scenario", lazy_modules=("repro.eval.robustness",))
 #: adversarial-fingerprint detector), plus the undefended baseline.
 DEFENSES = Registry("defense", lazy_modules=("repro.defenses",))
 
+#: All static-analysis lint rules ``repro lint`` runs over the source tree:
+#: determinism (R1), cache-key completeness (R2), atomic-write discipline
+#: (R3), shared-mutable-state thread-safety (R4) and registry hygiene (R5).
+LINT_RULES = Registry("lint rule", lazy_modules=("repro.analysis.rules",))
+
 
 def register_localizer(
     name: str,
@@ -333,6 +348,20 @@ def register_defense(
     )
 
 
+def register_lint_rule(
+    name: str,
+    factory: Optional[Callable[..., Any]] = None,
+    *,
+    tags: Iterable[str] = (),
+    aliases: Iterable[str] = (),
+    override: bool = False,
+):
+    """Register a lint rule class/factory under ``name`` (decorator-friendly)."""
+    return LINT_RULES.register(
+        name, factory, tags=tags, aliases=aliases, override=override
+    )
+
+
 def make_localizer(name: str, **kwargs) -> Any:
     """Instantiate a registered localizer by name (``make_localizer("KNN", k=3)``)."""
     return LOCALIZERS.create(name, **kwargs)
@@ -353,6 +382,11 @@ def make_defense(name: str, **kwargs) -> Any:
     return DEFENSES.create(name, **kwargs)
 
 
+def make_lint_rule(name: str, **kwargs) -> Any:
+    """Instantiate a registered lint rule by name (``make_lint_rule("R1")``)."""
+    return LINT_RULES.create(name, **kwargs)
+
+
 def available_localizers(tag: Optional[str] = None) -> List[str]:
     """Names of every registered localizer (optionally one tag)."""
     return LOCALIZERS.names(tag)
@@ -371,3 +405,8 @@ def available_scenarios(tag: Optional[str] = None) -> List[str]:
 def available_defenses(tag: Optional[str] = None) -> List[str]:
     """Names of every registered defense (optionally one tag)."""
     return DEFENSES.names(tag)
+
+
+def available_lint_rules(tag: Optional[str] = None) -> List[str]:
+    """Names of every registered lint rule (optionally one tag)."""
+    return LINT_RULES.names(tag)

@@ -38,6 +38,13 @@ Subcommands
     processes (crash-safe, resumable, multi-host over a shared cache
     directory), ``status``/``watch`` progress, ``result`` to merge unit
     outcomes into the canonical result set, ``list`` known runs.
+``lint``
+    Run the AST-based invariant linter (:mod:`repro.analysis`) over the
+    ``repro`` source tree: determinism (R1), cache-key completeness (R2),
+    atomic writes (R3), shared-state thread-safety (R4) and registry
+    hygiene (R5).  Exits 1 on findings outside ``lint-baseline.json``;
+    ``--json`` emits the machine-readable report, ``--update-baseline``
+    rewrites the baseline to accept the current findings.
 
 Examples
 --------
@@ -383,6 +390,48 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="list run ledgers under the cache directory"
     )
     _queue_cache_flags(queue_list)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the AST invariant linter over the repro source tree "
+        "(determinism, cache keys, atomic writes, thread safety, registries)",
+    )
+    lint.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package directory to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file of accepted findings (default: ./lint-baseline.json "
+        "or <repo root>/lint-baseline.json)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept exactly the current findings "
+        "(keeps existing justification strings) instead of gating",
+    )
+    lint.add_argument(
+        "--rules",
+        nargs="+",
+        default=None,
+        metavar="RULE",
+        help="run only these rules (ids or aliases, see `repro lint --list-rules`)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered lint rules and exit",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable lint report (CI artifact format)",
+    )
 
     store = subparsers.add_parser(
         "store", help="manage the versioned model store (publish/list/inspect/...)"
@@ -752,6 +801,55 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import (
+        Baseline,
+        default_baseline_path,
+        default_root,
+        render_report,
+        report_document,
+        run_lint,
+    )
+    from .registry import LINT_RULES, catalog_document
+
+    if args.list_rules:
+        if args.json:
+            print(json.dumps(catalog_document("lint-rule", LINT_RULES.catalog()), indent=2))
+            return 0
+        rows = [
+            [entry.name, "/".join(entry.tags), entry.summary]
+            for entry in LINT_RULES.entries()
+        ]
+        print(ascii_table(rows, headers=["rule", "tags", "description"]))
+        return 0
+
+    root = args.root if args.root is not None else default_root()
+    baseline_path = (
+        args.baseline if args.baseline is not None else default_baseline_path(root)
+    )
+    report = run_lint(root=root, rules=args.rules)
+    baseline = Baseline.load(baseline_path)
+
+    if args.update_baseline:
+        baseline.updated(report.findings).save(baseline_path)
+        print(
+            f"wrote {baseline_path} with {len(report.findings)} accepted "
+            "finding(s) — add a justification string to every entry"
+        )
+        return 0
+
+    new, baselined, stale = baseline.split(report.findings)
+    if args.rules:
+        # A subset run can't judge baseline entries of unselected rules.
+        selected = set(report.rules)
+        stale = [entry for entry in stale if entry.rule in selected]
+    if args.json:
+        print(json.dumps(report_document(report, new, baselined, stale), indent=2))
+    else:
+        print(render_report(report, new, baselined, stale))
+    return 1 if new else 0
+
+
 def _queue_cache(args: argparse.Namespace):
     from .eval.engine import ArtifactCache
 
@@ -858,6 +956,11 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_list_scenarios(args)
     if command == "list-defenses":
         return _cmd_list_defenses(args)
+    if command == "lint":
+        try:
+            return _cmd_lint(args)
+        except (KeyError, ValueError, OSError) as error:
+            raise SystemExit(f"error: {error}")
     if command == "store":
         try:
             return _cmd_store(args)

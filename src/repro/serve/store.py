@@ -170,6 +170,9 @@ class ModelStore:
         if fcntl is None:  # pragma: no cover - non-POSIX fallback
             yield
             return
+        # repro-lint: allow[R3] zero-byte fcntl advisory-lock file: the open
+        # must target the shared inode itself — an os.replace would detach
+        # every concurrently-held flock and void the mutual exclusion.
         with lock_path.open("a") as handle:
             fcntl.flock(handle, fcntl.LOCK_EX)
             try:

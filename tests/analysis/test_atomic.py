@@ -1,0 +1,135 @@
+"""Crash-mid-write regression tests for the atomic-write discipline.
+
+A writer killed (or raising) halfway through an export must never leave a
+truncated file at the destination, never clobber a pre-existing good file,
+and never litter the directory with temp files — for the primitive itself
+and for both CSV exporters that R3 found writing bare.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atomic import write_atomic, write_text_atomic
+from repro.data import FingerprintDataset
+from repro.data.io import load_dataset_csv, save_dataset_csv
+from repro.eval.reporting import results_to_csv
+
+
+class _ExplodesOnStr:
+    """Stands in for a device/cell whose serialisation fails mid-row."""
+
+    def __str__(self) -> str:
+        raise RuntimeError("boom mid-write")
+
+
+def _assert_no_litter(directory):
+    assert list(directory.iterdir()) == [], "crashed write littered the directory"
+
+
+# -- the primitive -------------------------------------------------------
+
+
+def test_write_atomic_publishes_complete_file(tmp_path):
+    target = tmp_path / "out.txt"
+
+    def writer(temp_path):
+        temp_path.write_text("payload")
+
+    write_atomic(target, writer)
+    assert target.read_text() == "payload"
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_write_atomic_crash_leaves_nothing(tmp_path):
+    target = tmp_path / "out.txt"
+
+    def writer(temp_path):
+        temp_path.write_text("half a pay")
+        raise RuntimeError("killed")
+
+    with pytest.raises(RuntimeError):
+        write_atomic(target, writer)
+    assert not target.exists()
+    _assert_no_litter(tmp_path)
+
+
+def test_write_atomic_crash_preserves_previous_version(tmp_path):
+    target = tmp_path / "out.txt"
+    target.write_text("good old content")
+
+    def writer(temp_path):
+        temp_path.write_text("new but doo")
+        raise RuntimeError("killed")
+
+    with pytest.raises(RuntimeError):
+        write_atomic(target, writer)
+    assert target.read_text() == "good old content"
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_write_text_atomic_round_trip(tmp_path):
+    target = tmp_path / "nested" / "note.json"
+    assert write_text_atomic(target, '{"ok": true}\n') == target
+    assert target.read_text() == '{"ok": true}\n'
+
+
+# -- save_dataset_csv ----------------------------------------------------
+
+
+def _dataset(devices) -> FingerprintDataset:
+    return FingerprintDataset(
+        rss_dbm=np.array([[-40.0, -50.0, -60.0], [-45.0, -55.0, -65.0]]),
+        labels=np.array([0, 1]),
+        rp_positions=np.array([[0.0, 0.0], [1.0, 2.0]]),
+        building="Tiny Lab",
+        devices=devices,
+    )
+
+
+def test_save_dataset_csv_crash_mid_export_leaves_nothing(tmp_path):
+    dataset = _dataset(np.array([_ExplodesOnStr(), _ExplodesOnStr()], dtype=object))
+    target = tmp_path / "dataset.csv"
+    with pytest.raises(RuntimeError, match="boom"):
+        save_dataset_csv(dataset, target)
+    assert not target.exists()
+    _assert_no_litter(tmp_path)
+
+
+def test_save_dataset_csv_crash_preserves_previous_export(tmp_path):
+    target = tmp_path / "dataset.csv"
+    save_dataset_csv(_dataset("BLU"), target)
+    good = target.read_text()
+
+    bad = _dataset(np.array([_ExplodesOnStr(), _ExplodesOnStr()], dtype=object))
+    with pytest.raises(RuntimeError, match="boom"):
+        save_dataset_csv(bad, target)
+    assert target.read_text() == good
+    restored = load_dataset_csv(target)
+    assert restored.num_samples == 2
+    assert [p.name for p in tmp_path.iterdir()] == ["dataset.csv"]
+
+
+# -- results_to_csv ------------------------------------------------------
+
+
+def test_results_to_csv_crash_mid_export_leaves_nothing(tmp_path):
+    rows = [
+        {"model": "KNN", "error_m": 1.5},
+        {"model": _ExplodesOnStr(), "error_m": 2.5},
+    ]
+    target = tmp_path / "results.csv"
+    with pytest.raises(RuntimeError, match="boom"):
+        results_to_csv(rows, target)
+    assert not target.exists()
+    _assert_no_litter(tmp_path)
+
+
+def test_results_to_csv_crash_preserves_previous_export(tmp_path):
+    target = tmp_path / "results.csv"
+    results_to_csv([{"model": "KNN", "error_m": 1.5}], target)
+    good = target.read_text()
+    with pytest.raises(RuntimeError, match="boom"):
+        results_to_csv([{"model": _ExplodesOnStr(), "error_m": 9.0}], target)
+    assert target.read_text() == good

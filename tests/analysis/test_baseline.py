@@ -1,0 +1,115 @@
+"""Baseline round-trips, fingerprint stability, and the new/baselined/stale split."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, run_lint
+
+_BAD_MODULE = """\
+_CACHE = {}
+
+def put(key, value):
+    _CACHE[key] = value
+"""
+
+
+def _lint_scratch(tmp_path, source: str, name: str = "core/bad.py"):
+    root = tmp_path / "repro"
+    target = root / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return run_lint(root=root, rules=["R4"])
+
+
+def test_baseline_round_trip_preserves_entries(tmp_path):
+    report = _lint_scratch(tmp_path, _BAD_MODULE)
+    assert len(report.findings) == 1
+    baseline = Baseline().updated(report.findings)
+    path = tmp_path / "lint-baseline.json"
+    baseline.save(path)
+    assert Baseline.load(path).entries == baseline.entries
+
+
+def test_baseline_load_missing_file_is_empty(tmp_path):
+    assert Baseline.load(tmp_path / "absent.json").entries == []
+
+
+def test_baseline_rejects_unknown_format_version(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)
+
+
+def test_split_partitions_new_baselined_and_stale(tmp_path):
+    report = _lint_scratch(tmp_path, _BAD_MODULE)
+    finding = report.findings[0]
+    ghost = BaselineEntry(
+        fingerprint="feedfacefeedface", rule="R4", path="repro/gone.py",
+        line=1, message="fixed long ago", justification="was fine",
+    )
+    baseline = Baseline(
+        entries=[BaselineEntry.from_finding(finding, justification="known"), ghost]
+    )
+    new, baselined, stale = baseline.split(report.findings)
+    assert new == []
+    assert [f.fingerprint for f in baselined] == [finding.fingerprint]
+    assert stale == [ghost]
+
+    new, baselined, stale = Baseline().split(report.findings)
+    assert [f.fingerprint for f in new] == [finding.fingerprint]
+    assert baselined == [] and stale == []
+
+
+def test_updated_keeps_justifications_and_prunes_stale(tmp_path):
+    report = _lint_scratch(tmp_path, _BAD_MODULE)
+    finding = report.findings[0]
+    old = Baseline(
+        entries=[
+            BaselineEntry.from_finding(finding, justification="deliberate memo"),
+            BaselineEntry(
+                fingerprint="feedfacefeedface", rule="R4", path="repro/gone.py",
+                line=1, message="fixed long ago", justification="obsolete",
+            ),
+        ]
+    )
+    updated = old.updated(report.findings)
+    assert [e.fingerprint for e in updated.entries] == [finding.fingerprint]
+    assert updated.entries[0].justification == "deliberate memo"
+
+
+def test_fingerprints_survive_unrelated_line_insertion(tmp_path):
+    before = _lint_scratch(tmp_path, _BAD_MODULE).findings[0]
+    shifted = _lint_scratch(
+        tmp_path,
+        '"""Docstring pushing everything down."""\n\n# a comment\n\n' + _BAD_MODULE,
+    ).findings[0]
+    assert shifted.line != before.line
+    assert shifted.fingerprint == before.fingerprint
+
+
+def test_fingerprints_change_when_the_flagged_line_changes(tmp_path):
+    before = _lint_scratch(tmp_path, _BAD_MODULE).findings[0]
+    edited = _lint_scratch(
+        tmp_path, _BAD_MODULE.replace("_CACHE[key] = value", "_CACHE[key] = [value]")
+    ).findings[0]
+    assert edited.fingerprint != before.fingerprint
+
+
+def test_identical_lines_get_distinct_fingerprints(tmp_path):
+    source = """\
+    _CACHE = {}
+
+    def put(key, value):
+        _CACHE[key] = value
+
+    def put_again(key, value):
+        _CACHE[key] = value
+    """
+    report = _lint_scratch(tmp_path, source)
+    prints = [f.fingerprint for f in report.findings]
+    assert len(prints) == 2 and len(set(prints)) == 2

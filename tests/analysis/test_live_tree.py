@@ -1,0 +1,116 @@
+"""Smoke tests of ``repro lint`` against the real source tree and CLI.
+
+These are the invariant-gate tests: the committed ``lint-baseline.json``
+must account for every finding on the live tree, and mutating the tree in a
+scratch copy (dropping a spec field from a digest payload) must re-surface
+a finding — proving the gate actually guards the cache-key contract.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+from pathlib import Path
+
+import repro
+from repro.analysis import default_root, run_lint
+from repro.reproduce import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "lint-baseline.json"
+
+
+def test_live_tree_is_clean_against_committed_baseline(capsys):
+    started = time.monotonic()
+    exit_code = main(["lint", "--json", "--baseline", str(BASELINE)])
+    elapsed = time.monotonic() - started
+    document = json.loads(capsys.readouterr().out)
+    assert exit_code == 0
+    assert document["kind"] == "lint-report"
+    assert document["rules"] == ["R1", "R2", "R3", "R4", "R5"]
+    assert document["ok"] is True
+    assert document["counts"]["new"] == 0
+    assert document["counts"]["stale_baseline_entries"] == 0
+    assert document["modules_scanned"] > 50
+    assert elapsed < 5.0, f"lint took {elapsed:.1f}s, budget is 5s"
+
+
+def test_committed_baseline_entries_all_carry_justifications():
+    document = json.loads(BASELINE.read_text())
+    assert document["findings"], "expected the sanctioned seed_everything entries"
+    for entry in document["findings"]:
+        assert entry["justification"].strip(), entry
+
+
+def test_lint_table_reports_ok_on_clean_tree(capsys):
+    exit_code = main(["lint", "--baseline", str(BASELINE)])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "OK: no findings outside the baseline" in out
+
+
+def test_lint_list_rules(capsys):
+    exit_code = main(["lint", "--list-rules"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+        assert rule_id in out
+
+
+def test_lint_exits_nonzero_on_new_finding_and_update_baseline_accepts(
+    tmp_path, capsys
+):
+    root = tmp_path / "repro"
+    bad = root / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("_CACHE = {}\n\ndef put(k, v):\n    _CACHE[k] = v\n")
+    baseline_path = tmp_path / "lint-baseline.json"
+
+    assert main(["lint", "--root", str(root), "--baseline", str(baseline_path)]) == 1
+    capsys.readouterr()
+
+    assert (
+        main([
+            "lint", "--root", str(root), "--baseline", str(baseline_path),
+            "--update-baseline",
+        ])
+        == 0
+    )
+    capsys.readouterr()
+    assert baseline_path.exists()
+    assert main(["lint", "--root", str(root), "--baseline", str(baseline_path)]) == 0
+
+
+def test_r2_catches_spec_field_dropped_from_digest_payload(tmp_path):
+    """Deleting the defense embed from the engine must re-surface R2.
+
+    This is the acceptance proof for the cache-key rule: a scratch copy of
+    the live tree with ``payload["defense"] = task.defense`` removed from
+    ``_model_payload`` aliases defended and undefended artefacts — and the
+    linter notices.
+    """
+    scratch = tmp_path / "repro"
+    shutil.copytree(default_root(), scratch, ignore=shutil.ignore_patterns("__pycache__"))
+    engine = scratch / "eval" / "engine.py"
+    source = engine.read_text()
+    block = (
+        '    if task.defense is not None and task.defense.hardens_training:\n'
+        '        payload["defense"] = task.defense\n'
+    )
+    assert block in source, "engine.py _model_payload changed shape; update the test"
+    engine.write_text(source.replace(block, ""))
+
+    clean = run_lint(root=default_root(), rules=["R2"])
+    assert clean.findings == []
+
+    mutated = run_lint(root=scratch, rules=["R2"])
+    assert any(
+        "ModelTask.defense" in finding.message
+        and finding.path == "repro/eval/engine.py"
+        for finding in mutated.findings
+    ), [f.message for f in mutated.findings]
+
+
+def test_default_root_is_the_installed_package():
+    assert default_root() == Path(repro.__file__).resolve().parent
