@@ -20,6 +20,22 @@ between the two modes, against the direct
 :meth:`LocalizationService.localize` call, and across the HTTP API
 (``ServiceClient`` against a live ``repro serve`` server).
 
+On top of the in-process modes, the full HTTP tier is driven end to end:
+
+``http_stdlib_json``
+    The threaded stdlib server (``repro serve``).
+``http_aio_json`` / ``http_aio_binary`` / ``http_aio_msgpack``
+    The asyncio front end (``repro serve --aio``) per negotiated body codec
+    (msgpack only when the library is installed).
+``http_workers_json``
+    ``--workers`` ``SO_REUSEPORT`` acceptor processes behind one port
+    (``repro serve --workers N``).
+
+Gates: the best asyncio mode must reach ``--min-aio-ratio`` × the stdlib
+throughput, and on machines with >= N CPUs, N workers must reach
+``--min-worker-speedup`` × one process without raising p99 (single-CPU boxes
+only get a 0.8x no-pessimization floor).
+
 Results are written to ``BENCH_serving.json`` (override with ``--output``)::
 
     python benchmarks/bench_serving.py
@@ -52,6 +68,14 @@ if str(REPO_ROOT / "src") not in sys.path:  # allow running without installing
 from repro import __version__  # noqa: E402
 from repro.api import PROFILES, LocalizationService  # noqa: E402
 from repro.serve import ModelStore, ServiceClient, create_server  # noqa: E402
+from repro.serve.aio.protocol import (  # noqa: E402
+    CONTENT_JSON,
+    CONTENT_MSGPACK,
+    CONTENT_NDARRAY,
+    msgpack_available,
+)
+from repro.serve.aio.server import AioServerThread  # noqa: E402
+from repro.serve.aio.supervisor import ServeSupervisor  # noqa: E402
 from repro.serve.gateway import percentile  # noqa: E402
 from repro.serve.http import ServingApp  # noqa: E402
 
@@ -96,6 +120,124 @@ def _drive(app: ServingApp, endpoint: str, queries: np.ndarray, threads: int) ->
     }
 
 
+def _drive_http(
+    base_url: str,
+    endpoint: str,
+    queries: np.ndarray,
+    threads: int,
+    content_type: str = CONTENT_JSON,
+    warmup: int = 2,
+) -> Dict[str, object]:
+    """Replay ``queries`` over HTTP from ``threads`` keep-alive clients."""
+    for _ in range(warmup):
+        # Untimed: first-request model load must not skew the latency window.
+        with ServiceClient(base_url, content_type=content_type) as client:
+            client.localize(queries[0], model=endpoint)
+    latencies: List[float] = [0.0] * queries.shape[0]
+    labels: List[int] = [0] * queries.shape[0]
+    cursor = {"next": 0}
+    lock = threading.Lock()
+
+    def worker() -> None:
+        with ServiceClient(base_url, content_type=content_type) as client:
+            while True:
+                with lock:
+                    index = cursor["next"]
+                    if index >= queries.shape[0]:
+                        return
+                    cursor["next"] = index + 1
+                start = time.perf_counter()
+                result = client.localize(queries[index], model=endpoint)
+                latencies[index] = time.perf_counter() - start
+                labels[index] = int(result.labels[0])
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    wall_start = time.perf_counter()
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    return {
+        "wall_s": round(wall, 4),
+        "requests": queries.shape[0],
+        "requests_per_s": round(queries.shape[0] / wall, 2),
+        "latency_ms": {
+            "mean": round(float(np.mean(latencies)) * 1000.0, 4),
+            "p50": round(percentile(latencies, 50.0) * 1000.0, 4),
+            "p99": round(percentile(latencies, 99.0) * 1000.0, 4),
+            "max": round(max(latencies) * 1000.0, 4),
+        },
+        "labels": labels,
+    }
+
+
+def run_http_benchmark(
+    store: ModelStore,
+    endpoint: str,
+    queries: np.ndarray,
+    threads: int,
+    max_batch: int,
+    max_wait_ms: float,
+    workers: int,
+) -> Dict[str, object]:
+    """Drive the full HTTP tier: stdlib vs asyncio front end vs N workers."""
+    modes: Dict[str, Dict[str, object]] = {}
+
+    print("http_stdlib_json (threaded stdlib server) ...", flush=True)
+    server = create_server(store, port=0, max_batch=max_batch, max_wait_ms=max_wait_ms)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.server_address[:2]
+        modes["http_stdlib_json"] = _drive_http(
+            f"http://{host}:{port}", endpoint, queries, threads
+        )
+    finally:
+        server.shutdown()
+        server.app.close()
+        server.server_close()
+    print(f"  {modes['http_stdlib_json']['wall_s']}s "
+          f"({modes['http_stdlib_json']['requests_per_s']} req/s)")
+
+    aio_bodies = [("http_aio_json", CONTENT_JSON), ("http_aio_binary", CONTENT_NDARRAY)]
+    if msgpack_available():
+        aio_bodies.append(("http_aio_msgpack", CONTENT_MSGPACK))
+    with AioServerThread(store, max_batch=max_batch, max_wait_ms=max_wait_ms) as aio:
+        for mode, content_type in aio_bodies:
+            print(f"{mode} (asyncio front end, {content_type}) ...", flush=True)
+            modes[mode] = _drive_http(
+                aio.base_url, endpoint, queries, threads, content_type=content_type
+            )
+            print(f"  {modes[mode]['wall_s']}s "
+                  f"({modes[mode]['requests_per_s']} req/s)")
+
+    report: Dict[str, object] = {"modes": modes}
+    if workers > 1:
+        print(f"http_workers_json ({workers} SO_REUSEPORT processes) ...", flush=True)
+        with ServeSupervisor(
+            str(store.root),
+            port=0,
+            workers=workers,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+        ) as supervisor:
+            supervisor.wait_until_ready(timeout=120.0)
+            base_url = f"http://127.0.0.1:{supervisor.port}"
+            # Warm every worker: new connections land on kernel-balanced
+            # listeners, so probe until each process has loaded the model.
+            warm: set = set()
+            deadline = time.perf_counter() + 60.0
+            while len(warm) < workers and time.perf_counter() < deadline:
+                with ServiceClient(base_url) as probe:
+                    probe.localize(queries[0], model=endpoint)
+                    warm.add(probe.health().get("worker"))
+            result = _drive_http(base_url, endpoint, queries, threads, warmup=0)
+        modes["http_workers_json"] = result
+        print(f"  {result['wall_s']}s ({result['requests_per_s']} req/s)")
+    return report
+
+
 def run_benchmark(
     model: str = "CALLOC",
     building: str = "Building 1",
@@ -106,6 +248,8 @@ def run_benchmark(
     max_wait_ms: float = 2.0,
     cache: bool = True,
     output: Optional[Path] = None,
+    http_requests: int = 600,
+    workers: int = 2,
 ) -> Dict[str, object]:
     """Run both serving modes plus the HTTP identity check; return the report."""
     if profile not in PROFILES:
@@ -151,31 +295,47 @@ def run_benchmark(
               f"({modes['micro_batched']['requests_per_s']} req/s, "
               f"mean batch {batch_stats['mean_batch_size']})")
 
-        # HTTP identity: the full client -> server -> gateway -> model path
-        # must reproduce the direct call bit for bit.
-        server = create_server(store, port=0, max_batch=max_batch, max_wait_ms=max_wait_ms)
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
-        try:
-            host, port = server.server_address[:2]
-            client = ServiceClient(f"http://{host}:{port}")
-            http_result = client.localize(test.features, model=endpoint)
-            http_identical = http_result.labels.tolist() == [
-                int(v) for v in service.localize(test.features).labels
-            ]
-        finally:
-            server.shutdown()
-            server.app.close()
-            server.server_close()
+        # HTTP tier: stdlib front end vs asyncio front end (per body codec)
+        # vs SO_REUSEPORT worker processes, all over the same stack.
+        http = run_http_benchmark(
+            store,
+            endpoint,
+            queries[:http_requests],
+            threads,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            workers=workers,
+        )
 
     identical = {
         "per_request_vs_direct": modes["per_request"].pop("labels") == direct_labels,
         "micro_batched_vs_direct": modes["micro_batched"].pop("labels") == direct_labels,
-        "http_vs_direct": http_identical,
     }
+    http_expected = direct_labels[:http_requests]
+    http_modes: Dict[str, Dict[str, object]] = http["modes"]  # type: ignore[assignment]
+    for mode, mode_report in http_modes.items():
+        identical[f"{mode}_vs_direct"] = mode_report.pop("labels") == http_expected
     speedup = (
         modes["micro_batched"]["requests_per_s"] / modes["per_request"]["requests_per_s"]  # type: ignore[operator]
     )
+    aio_best = max(
+        mode_report["requests_per_s"]
+        for mode, mode_report in http_modes.items()
+        if mode.startswith("http_aio_")
+    )
+    aio_ratio = aio_best / http_modes["http_stdlib_json"]["requests_per_s"]  # type: ignore[operator]
+    workers_section: Optional[Dict[str, object]] = None
+    if "http_workers_json" in http_modes:
+        single = http_modes["http_aio_json"]
+        multi = http_modes["http_workers_json"]
+        workers_section = {
+            "workers": workers,
+            "speedup_vs_single_aio": round(
+                multi["requests_per_s"] / single["requests_per_s"], 3  # type: ignore[operator]
+            ),
+            "p99_ms_single": single["latency_ms"]["p99"],  # type: ignore[index]
+            "p99_ms_workers": multi["latency_ms"]["p99"],  # type: ignore[index]
+        }
     report: Dict[str, object] = {
         "benchmark": "serving",
         "version": __version__,
@@ -196,7 +356,11 @@ def run_benchmark(
             **batch_stats,
         },
         "modes": modes,
+        "http_requests": http_requests,
+        "http_modes": http_modes,
         "throughput_speedup": round(speedup, 3),
+        "aio_vs_stdlib_ratio": round(aio_ratio, 3),
+        "multi_worker": workers_section,
         "identical": identical,
     }
     if output is not None:
@@ -204,6 +368,11 @@ def run_benchmark(
         output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {output}")
     print(f"micro-batched throughput {speedup:.2f}x the per-request path")
+    print(f"best asyncio mode {aio_ratio:.2f}x the stdlib HTTP front end")
+    if workers_section is not None:
+        print(f"{workers} workers {workers_section['speedup_vs_single_aio']}x one "
+              f"asyncio process (p99 {workers_section['p99_ms_workers']}ms vs "
+              f"{workers_section['p99_ms_single']}ms)")
     return report
 
 
@@ -229,6 +398,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="fail unless micro-batched throughput reaches this "
                         "factor over per-request (0 disables the gate)")
+    parser.add_argument("--http-requests", type=int, default=600,
+                        help="requests replayed per HTTP front-end mode")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="SO_REUSEPORT worker processes for the aggregate "
+                        "mode (1 disables it)")
+    parser.add_argument("--min-aio-ratio", type=float, default=1.0,
+                        help="fail unless the best asyncio mode reaches this "
+                        "factor over the stdlib front end (0 disables)")
+    parser.add_argument("--min-worker-speedup", type=float, default=2.0,
+                        help="fail unless N workers reach this factor over one "
+                        "asyncio process — applied only when the machine has "
+                        ">= N CPUs; single-CPU boxes get a no-pessimization "
+                        "floor of 0.8x instead (0 disables both gates)")
     args = parser.parse_args(argv)
 
     report = run_benchmark(
@@ -241,6 +423,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_wait_ms=args.max_wait_ms,
         cache=not args.no_cache,
         output=args.output,
+        http_requests=args.http_requests,
+        workers=args.workers,
     )
     if not all(report["identical"].values()):
         diverged = [name for name, same in report["identical"].items() if not same]
@@ -253,6 +437,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.min_aio_ratio > 0 and report["aio_vs_stdlib_ratio"] < args.min_aio_ratio:
+        print(
+            f"FAIL: best asyncio mode only {report['aio_vs_stdlib_ratio']:.2f}x the "
+            f"stdlib front end, required {args.min_aio_ratio:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    multi = report.get("multi_worker")
+    if multi is not None and args.min_worker_speedup > 0:
+        cpus = os.cpu_count() or 1
+        speedup = multi["speedup_vs_single_aio"]
+        if cpus >= args.workers:
+            if speedup < args.min_worker_speedup:
+                print(
+                    f"FAIL: {args.workers} workers only {speedup:.2f}x one process "
+                    f"on a {cpus}-CPU machine, required "
+                    f"{args.min_worker_speedup:.2f}x",
+                    file=sys.stderr,
+                )
+                return 1
+            if multi["p99_ms_workers"] > multi["p99_ms_single"]:
+                print(
+                    f"FAIL: {args.workers}-worker p99 {multi['p99_ms_workers']}ms "
+                    f"above single-process p99 {multi['p99_ms_single']}ms",
+                    file=sys.stderr,
+                )
+                return 1
+        elif speedup < 0.8:
+            # Single CPU: parallel acceptors cannot speed anything up, but
+            # they must not pessimize the serving path either.
+            print(
+                f"FAIL: {args.workers} workers pessimize a {cpus}-CPU machine "
+                f"to {speedup:.2f}x of one process (floor 0.8x)",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

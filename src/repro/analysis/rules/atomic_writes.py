@@ -37,6 +37,7 @@ _SCOPES = (
     "repro/atomic.py",
     "repro/queue/",
     "repro/serve/store.py",
+    "repro/serve/aio/",
     "repro/eval/engine.py",
     "repro/data/io.py",
     "repro/eval/reporting.py",

@@ -60,10 +60,12 @@ _WALLCLOCK = {
 _RNG_SCOPES = (
     "repro/nn/", "repro/attacks/", "repro/defenses/", "repro/core/",
     "repro/data/", "repro/eval/", "repro/baselines/", "repro/queue/",
+    "repro/serve/aio/",
 )
 _WALLCLOCK_SCOPES = (
     "repro/nn/", "repro/attacks/", "repro/defenses/", "repro/core/",
     "repro/data/", "repro/eval/", "repro/baselines/",
+    "repro/serve/aio/",
 )
 
 

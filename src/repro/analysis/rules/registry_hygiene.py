@@ -38,11 +38,13 @@ _REGISTER_FUNCS = {
     "register_scenario": "scenario",
     "register_defense": "defense",
     "register_lint_rule": "lint rule",
+    "register_router_policy": "router policy",
     "LOCALIZERS.register": "localizer",
     "ATTACKS.register": "attack",
     "SCENARIOS.register": "scenario",
     "DEFENSES.register": "defense",
     "LINT_RULES.register": "lint rule",
+    "ROUTER_POLICIES.register": "router policy",
 }
 
 _EXEMPT_MODULES = ("repro/registry.py",)

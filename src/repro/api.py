@@ -468,6 +468,11 @@ class LocalizationResult:
     #: Per-query adversarial flags from the service's inference guard
     #: (``None`` when no guard is attached), shape ``(n,)`` boolean.
     guard_flags: Optional[np.ndarray] = None
+    #: Immutable store ref (``name@vN``) that produced this result.  Set by
+    #: the serving gateway at scoring time so a concurrent ``store promote``
+    #: can never tear a response (labels from one version, ref from another);
+    #: ``None`` for direct service calls.
+    served_ref: Optional[str] = None
 
     def __len__(self) -> int:
         return int(self.labels.shape[0])

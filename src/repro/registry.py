@@ -47,6 +47,12 @@ shared-state thread-safety, registry hygiene — see :mod:`repro.analysis`) —
 register through :func:`register_lint_rule` / :func:`make_lint_rule` and are
 selectable via ``repro lint --rules``.
 
+Router policies — how the serving tier treats the deterministic canary
+fraction of a shadowed route (mirror to the candidate in the background, or
+split real traffic onto it — see :mod:`repro.serve.aio.routing`) — register
+through :func:`register_router_policy` / :func:`make_router_policy` and are
+selectable in the ``--route ...,policy=NAME`` serving grammar.
+
 Lookups are case-insensitive (``make_localizer("knn")`` works) and unknown
 names raise :class:`RegistryError` (a :class:`KeyError`) naming the closest
 registered spellings.  The registries populate themselves lazily: the first
@@ -72,21 +78,25 @@ __all__ = [
     "SCENARIOS",
     "DEFENSES",
     "LINT_RULES",
+    "ROUTER_POLICIES",
     "register_localizer",
     "register_attack",
     "register_scenario",
     "register_defense",
     "register_lint_rule",
+    "register_router_policy",
     "make_localizer",
     "make_attack",
     "make_scenario",
     "make_defense",
     "make_lint_rule",
+    "make_router_policy",
     "available_localizers",
     "available_attacks",
     "available_scenarios",
     "available_defenses",
     "available_lint_rules",
+    "available_router_policies",
 ]
 
 
@@ -293,6 +303,11 @@ DEFENSES = Registry("defense", lazy_modules=("repro.defenses",))
 #: (R3), shared-mutable-state thread-safety (R4) and registry hygiene (R5).
 LINT_RULES = Registry("lint rule", lazy_modules=("repro.analysis.rules",))
 
+#: All serving router policies: what happens to the deterministic canary
+#: fraction of a shadowed route — ``mirror`` (score in the background,
+#: compare on /metrics) or ``split`` (serve real traffic from the candidate).
+ROUTER_POLICIES = Registry("router policy", lazy_modules=("repro.serve.aio.routing",))
+
 
 def register_localizer(
     name: str,
@@ -362,6 +377,20 @@ def register_lint_rule(
     )
 
 
+def register_router_policy(
+    name: str,
+    factory: Optional[Callable[..., Any]] = None,
+    *,
+    tags: Iterable[str] = (),
+    aliases: Iterable[str] = (),
+    override: bool = False,
+):
+    """Register a serving router policy under ``name`` (decorator-friendly)."""
+    return ROUTER_POLICIES.register(
+        name, factory, tags=tags, aliases=aliases, override=override
+    )
+
+
 def make_localizer(name: str, **kwargs) -> Any:
     """Instantiate a registered localizer by name (``make_localizer("KNN", k=3)``)."""
     return LOCALIZERS.create(name, **kwargs)
@@ -387,6 +416,11 @@ def make_lint_rule(name: str, **kwargs) -> Any:
     return LINT_RULES.create(name, **kwargs)
 
 
+def make_router_policy(name: str, **kwargs) -> Any:
+    """Instantiate a registered router policy by name (``make_router_policy("mirror")``)."""
+    return ROUTER_POLICIES.create(name, **kwargs)
+
+
 def available_localizers(tag: Optional[str] = None) -> List[str]:
     """Names of every registered localizer (optionally one tag)."""
     return LOCALIZERS.names(tag)
@@ -410,3 +444,8 @@ def available_defenses(tag: Optional[str] = None) -> List[str]:
 def available_lint_rules(tag: Optional[str] = None) -> List[str]:
     """Names of every registered lint rule (optionally one tag)."""
     return LINT_RULES.names(tag)
+
+
+def available_router_policies(tag: Optional[str] = None) -> List[str]:
+    """Names of every registered serving router policy (optionally one tag)."""
+    return ROUTER_POLICIES.names(tag)

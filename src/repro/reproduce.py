@@ -476,6 +476,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_promote.add_argument("ref")
     store_promote.add_argument("tag")
+    store_promote.add_argument(
+        "--if-canary-ok",
+        action="store_true",
+        help="gate the promote on a live /metrics shadow comparison: refuse "
+        "unless the canary arm matches the primary (see serve --route shadow=)",
+    )
+    store_promote.add_argument(
+        "--metrics-url",
+        default="http://127.0.0.1:8080",
+        help="base URL of the running server whose /metrics to judge",
+    )
+    store_promote.add_argument(
+        "--endpoint",
+        default=None,
+        help="shadowed endpoint to judge (default: the only shadowed endpoint)",
+    )
+    store_promote.add_argument("--min-requests", type=int, default=50)
+    store_promote.add_argument("--max-flagged-delta", type=float, default=0.0)
+    store_promote.add_argument("--max-p99-ratio", type=float, default=1.5)
     store_export = store_actions.add_parser(
         "export", help="export a reference as a standalone .npz service archive"
     )
@@ -498,9 +517,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--route",
         action="append",
         default=[],
-        metavar="ENDPOINT=REF",
+        metavar="ENDPOINT=REF[,shadow=REF,...]",
         help="map a tenant endpoint to a store ref (repeatable), "
-        "e.g. --route building-1/calloc=calloc@prod",
+        "e.g. --route building-1/calloc=calloc@prod; the asyncio tier also "
+        "accepts ENDPOINT=REF[,shadow=REF][,fraction=P][,policy=mirror|split]"
+        "[,seed=N] for deterministic canary routing",
     )
     serve.add_argument(
         "--max-batch",
@@ -532,6 +553,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="train a quick-profile model through the cached engine and publish "
         "it (as <model lowercased>) before serving — handy for smoke tests",
+    )
+    serve.add_argument(
+        "--aio",
+        action="store_true",
+        help="use the asyncio front end (keep-alive pipelining, binary bodies, "
+        "shadow routing, manifest-watch hot promote); implied by --workers > 1",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="number of SO_REUSEPORT acceptor processes sharing the port "
+        "(> 1 implies --aio and starts a restart supervisor)",
+    )
+    serve.add_argument(
+        "--watch-interval",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="asyncio tier: how often to re-check the store manifest for "
+        "promotions (0 = stat on every request)",
     )
 
     return parser
@@ -654,6 +696,10 @@ def _cmd_store(args: argparse.Namespace) -> int:
               f"tags: {', '.join(version.tags) or '-'}, "
               f"defense: {version.defense})")
     elif action == "promote":
+        if args.if_canary_ok:
+            verdict = _judge_canary(args)
+            if verdict != 0:
+                return verdict
         version = store.promote(args.ref, args.tag)
         print(f"tag '{args.tag}' -> {version.ref}")
     elif action == "export":
@@ -662,31 +708,116 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _judge_canary(args: argparse.Namespace) -> int:
+    """``store promote --if-canary-ok``: judge a live shadow comparison.
+
+    Returns 0 when the canary passes, 1 (with reasons on stderr) otherwise.
+    """
+    from .serve.aio.routing import canary_ok
+    from .serve.http import ServiceClient
+
+    with ServiceClient(args.metrics_url) as client:
+        metrics = client.metrics()
+    shadow = metrics.get("shadow", {})
+    endpoint = args.endpoint
+    if endpoint is None:
+        if len(shadow) != 1:
+            print(
+                "error: --if-canary-ok needs --endpoint when the server has "
+                f"{len(shadow)} shadowed endpoints (found: {sorted(shadow) or '-'})",
+                file=sys.stderr,
+            )
+            return 1
+        endpoint = next(iter(shadow))
+    document = shadow.get(endpoint)
+    if document is None:
+        print(
+            f"error: endpoint '{endpoint}' has no shadow comparison at "
+            f"{args.metrics_url}/metrics (shadowed: {sorted(shadow) or '-'})",
+            file=sys.stderr,
+        )
+        return 1
+    ok, reasons = canary_ok(
+        document,
+        min_requests=args.min_requests,
+        max_flagged_delta=args.max_flagged_delta,
+        max_p99_ratio=args.max_p99_ratio,
+    )
+    if not ok:
+        print(f"canary check failed for '{endpoint}':", file=sys.stderr)
+        for reason in reasons:
+            print(f"  - {reason}", file=sys.stderr)
+        return 1
+    print(f"canary ok for '{endpoint}'")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import ModelStore
-    from .serve.http import serve as serve_forever
+    from .serve.aio.routing import parse_route
 
     store = ModelStore(args.store_dir)
     if args.publish is not None:
         building, model = args.publish
         version = store.publish_trained(building, model=model, profile="quick")
         print(f"published {version.ref} for serving")
+    if args.workers < 1:
+        raise SystemExit("error: --workers must be >= 1")
+    use_aio = args.aio or args.workers > 1
     routes = {}
     for item in args.route:
-        endpoint, separator, ref = item.partition("=")
-        if not separator or not endpoint or not ref:
-            raise SystemExit(f"error: --route expects ENDPOINT=REF, got '{item}'")
-        routes[endpoint] = ref
-    serve_forever(
-        store,
-        host=args.host,
-        port=args.port,
-        routes=routes,
-        batching=not args.no_batching,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        max_loaded=args.max_loaded,
-    )
+        try:
+            endpoint, spec = parse_route(item)
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from error
+        if spec.has_shadow and not use_aio:
+            raise SystemExit(
+                f"error: --route '{item}' uses shadow routing, which needs the "
+                "asyncio tier; add --aio (or --workers N)"
+            )
+        routes[endpoint] = spec if use_aio else spec.ref
+    if args.workers > 1:
+        from .serve.aio.supervisor import serve_workers
+
+        serve_workers(
+            store.root,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            routes=routes,
+            batching=not args.no_batching,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_loaded=args.max_loaded,
+            watch_interval_s=args.watch_interval,
+        )
+    elif use_aio:
+        from .serve.aio.server import serve_aio
+
+        serve_aio(
+            store,
+            host=args.host,
+            port=args.port,
+            routes=routes,
+            batching=not args.no_batching,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_loaded=args.max_loaded,
+            watch_interval_s=args.watch_interval,
+        )
+    else:
+        from .serve.http import serve as serve_forever
+
+        serve_forever(
+            store,
+            host=args.host,
+            port=args.port,
+            routes=routes,
+            batching=not args.no_batching,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_loaded=args.max_loaded,
+        )
     return 0
 
 

@@ -18,7 +18,12 @@ localizing live fingerprints at serving scale:
   ``localize`` call (max-batch / max-wait knobs) with bit-identical results.
 * :mod:`repro.serve.http` — the ``repro serve`` JSON API
   (``POST /v1/localize``, ``GET /v1/models``, ``/healthz``, ``/metrics``) on
-  the stdlib :mod:`http.server`, plus the thin :class:`ServiceClient`.
+  the stdlib :mod:`http.server`, plus the keep-alive :class:`ServiceClient`.
+* :mod:`repro.serve.aio` — the production front end: asyncio keep-alive/
+  pipelined HTTP with binary body codecs, ``SO_REUSEPORT`` multi-process
+  workers, manifest-watch hot promote/rollback, and deterministic
+  shadow/canary routing with the ``repro store promote --if-canary-ok``
+  gate.
 
 Quickstart::
 
@@ -50,4 +55,33 @@ __all__ = [
     "ServiceClient",
     "create_server",
     "serve",
+    # asyncio tier (lazy — importing the aio server pulls in asyncio plumbing
+    # that plain store/gateway users never need):
+    "AsyncServingApp",
+    "AioServerThread",
+    "RouteSpec",
+    "ServeSupervisor",
+    "canary_ok",
+    "parse_route",
+    "serve_aio",
+    "serve_workers",
 ]
+
+_LAZY_AIO = {
+    "AsyncServingApp",
+    "AioServerThread",
+    "RouteSpec",
+    "ServeSupervisor",
+    "canary_ok",
+    "parse_route",
+    "serve_aio",
+    "serve_workers",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_AIO:
+        from . import aio
+
+        return getattr(aio, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,648 @@
+"""asyncio front end: keep-alive, pipelining, binary bodies, shadow routing.
+
+The stdlib server (:mod:`repro.serve.http`) spends one OS thread per
+connection and one JSON encode/decode per request.  This front end replaces
+the transport while keeping the entire serving stack behind it — gateway,
+pinned hot-promote refs, micro-batcher, guard accounting — byte-identical:
+
+* one :func:`asyncio.start_server` event loop handles every connection
+  (HTTP/1.1 keep-alive; pipelined requests are parsed as they arrive,
+  handled concurrently, and answered strictly in request order);
+* request/response bodies are negotiated per request via ``Content-Type``
+  (JSON, raw-ndarray, optional msgpack — see :mod:`.protocol`);
+* the synchronous :class:`~repro.serve.batching.MicroBatcher` is bridged with
+  :func:`asyncio.wrap_future` on the ``concurrent.futures.Future`` its
+  ``submit`` returns — the event loop never blocks on inference, and
+  concurrent asyncio requests coalesce into batches exactly like server
+  threads did;
+* shadowed routes (``--route ep=REF,shadow=REF2,fraction=p``) mirror or
+  split a deterministic request fraction onto a candidate version and keep
+  paired primary-vs-shadow stats for ``GET /metrics`` (see :mod:`.routing`).
+
+:class:`AioServerThread` runs the whole thing on a background thread for
+tests and benchmarks; :func:`serve_aio` is the blocking single-process entry
+point behind ``repro serve --aio`` (multi-process is
+:mod:`repro.serve.aio.supervisor`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Dict, Mapping, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from ...defenses.base import GuardRejectedError
+from ..http import ServingApp
+from ..store import ModelStore, StoreError
+from . import protocol
+from .routing import (
+    RouteSpec,
+    RoutingDecision,
+    ShadowStats,
+    decide_route,
+    parse_route_value,
+)
+
+__all__ = ["AsyncServingApp", "AioServer", "AioServerThread", "serve_aio"]
+
+#: Max accepted request body (64 MiB), matching the stdlib handler.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Stream buffer limit — request heads (line + headers) must fit in this.
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    415: "Unsupported Media Type",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """A transport-level request defect (status + message, connection closes)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Request:
+    __slots__ = ("method", "path", "headers", "body", "keep_alive")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        keep_alive: bool,
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+        self.keep_alive = keep_alive
+
+
+def _flag_count(result: Any) -> int:
+    flags = getattr(result, "guard_flags", None)
+    return int(flags.sum()) if flags is not None else 0
+
+
+class AsyncServingApp:
+    """The asyncio serving application: sync stack behind, coroutines in front.
+
+    Wraps the synchronous :class:`~repro.serve.http.ServingApp` (gateway +
+    per-endpoint micro-batchers) rather than reimplementing it, so both front
+    ends serve bit-identical responses from the same machinery.  On top it
+    adds what only makes sense with an event loop: shadow mirroring as
+    background tasks and the executor bridge for blocking store I/O.
+
+    ``routes`` values may be plain store refs (``"knn@prod"``) or
+    :class:`~repro.serve.aio.routing.RouteSpec` objects carrying a shadow
+    configuration.
+    """
+
+    def __init__(
+        self,
+        store: Union[ModelStore, str, None],
+        routes: Optional[Mapping[str, Union[str, RouteSpec]]] = None,
+        batching: bool = True,
+        max_batch: int = 64,
+        max_wait_ms: float = 5.0,
+        max_loaded: int = 8,
+        watch_interval_s: float = 0.0,
+        stats_window: int = 1024,
+        executor_threads: int = 8,
+        worker_id: Optional[int] = None,
+    ) -> None:
+        if not isinstance(store, ModelStore):
+            store = ModelStore(store)
+        # String values accept the full canary grammar
+        # ("REF[,shadow=REF][,fraction=P]..."), so supervisor configs and CLI
+        # route maps need no RouteSpec plumbing.
+        self.route_specs: Dict[str, RouteSpec] = {
+            endpoint: spec if isinstance(spec, RouteSpec) else parse_route_value(str(spec))
+            for endpoint, spec in (routes or {}).items()
+        }
+        self.app = ServingApp(
+            store,
+            routes={ep: spec.ref for ep, spec in self.route_specs.items()},
+            max_loaded=max_loaded,
+            batching=batching,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            watch_interval_s=watch_interval_s,
+            stats_window=stats_window,
+        )
+        self.shadow_stats: Dict[str, ShadowStats] = {
+            endpoint: ShadowStats(endpoint, spec, window=stats_window)
+            for endpoint, spec in self.route_specs.items()
+            if spec.has_shadow
+        }
+        self.worker_id = worker_id
+        self.connections = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_threads, thread_name_prefix="repro-aio"
+        )
+        self._shadow_tasks: Set["asyncio.Task[None]"] = set()
+
+    @property
+    def gateway(self):
+        return self.app.gateway
+
+    # -- inference ------------------------------------------------------
+    async def _score(self, endpoint: str, features: np.ndarray):
+        """One batch through the sync stack without blocking the event loop."""
+        loop = asyncio.get_running_loop()
+        if self.app.batching:
+            # First-load store I/O (and the 404 for unknown names) happens on
+            # the executor; the batcher future then bridges straight back.
+            await loop.run_in_executor(
+                self._executor, self.app.gateway.service_for, endpoint
+            )
+            return await asyncio.wrap_future(
+                self.app.batcher_for(endpoint).submit(features)
+            )
+        return await loop.run_in_executor(
+            self._executor, self.app.gateway.localize, endpoint, features
+        )
+
+    async def localize_document_async(
+        self, payload: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        """Async twin of :meth:`ServingApp.localize_document`, plus routing."""
+        endpoint, features, probabilities = protocol.parse_localize_payload(payload)
+        spec = self.route_specs.get(endpoint)
+        stats = self.shadow_stats.get(endpoint)
+        decision = (
+            decide_route(spec, features)
+            if spec is not None and spec.has_shadow
+            else RoutingDecision()
+        )
+        target = spec.shadow if decision.serve_shadow else endpoint
+        start = time.perf_counter()
+        result = await self._score(target, features)
+        elapsed = time.perf_counter() - start
+        if stats is not None:
+            stats.record_request(decision)
+            if decision.serve_shadow:
+                stats.record_arm("shadow", elapsed, len(result), _flag_count(result))
+            elif decision.mirror_shadow:
+                stats.record_arm("primary", elapsed, len(result), _flag_count(result))
+                task = asyncio.get_running_loop().create_task(
+                    self._mirror(spec, stats, features, result)
+                )
+                self._shadow_tasks.add(task)
+                task.add_done_callback(self._shadow_tasks.discard)
+        # Stamped by the gateway at scoring time — re-reading the pin here
+        # could race a concurrent promote and tear the response.
+        ref = result.served_ref or self.gateway.resolved_version(target)
+        return protocol.build_localize_document(endpoint, ref, result, probabilities)
+
+    async def _mirror(
+        self,
+        spec: RouteSpec,
+        stats: ShadowStats,
+        features: np.ndarray,
+        primary_result: Any,
+    ) -> None:
+        """Score a mirrored copy on the shadow and record the paired outcome."""
+        start = time.perf_counter()
+        try:
+            shadow_result = await self._score(spec.shadow, features)
+        except GuardRejectedError as error:
+            # The candidate's enforcing guard rejected traffic the primary
+            # served: that is signal, not noise — count the flags so the
+            # canary comparison sees the stricter guard.
+            stats.record_arm(
+                "shadow",
+                time.perf_counter() - start,
+                features.shape[0],
+                len(error.flagged_indices),
+            )
+            return
+        except Exception:
+            stats.record_shadow_error()
+            return
+        stats.record_arm(
+            "shadow",
+            time.perf_counter() - start,
+            len(shadow_result),
+            _flag_count(shadow_result),
+        )
+        mismatches = int(
+            np.sum(
+                np.asarray(primary_result.labels) != np.asarray(shadow_result.labels)
+            )
+        )
+        stats.record_comparison(mismatches, len(shadow_result))
+
+    # -- documents ------------------------------------------------------
+    def health_document(self) -> Dict[str, Any]:
+        document = self.app.health_document()
+        document["frontend"] = "aio"
+        document["content_types"] = protocol.supported_content_types()
+        if self.worker_id is not None:
+            document["worker"] = self.worker_id
+        return document
+
+    def metrics_document(self) -> Dict[str, Any]:
+        document = self.app.metrics_document()
+        document["shadow"] = {
+            endpoint: stats.as_dict() for endpoint, stats in self.shadow_stats.items()
+        }
+        if self.worker_id is not None:
+            document["worker"] = self.worker_id
+        return document
+
+    def models_document(self) -> Dict[str, Any]:
+        document = self.app.models_document()
+        shadowed = {
+            endpoint: spec.as_dict()
+            for endpoint, spec in self.route_specs.items()
+            if spec.has_shadow
+        }
+        if shadowed:
+            document["shadow_routes"] = shadowed
+        return document
+
+    # -- lifecycle ------------------------------------------------------
+    async def shadow_quiesce(self) -> None:
+        """Wait until every in-flight shadow mirror task has recorded."""
+        while self._shadow_tasks:
+            await asyncio.gather(*list(self._shadow_tasks), return_exceptions=True)
+
+    async def aclose(self) -> None:
+        """Drain in-flight shadow tasks, then tear down the sync stack."""
+        await self.shadow_quiesce()
+        self.app.close()
+        self._executor.shutdown(wait=False)
+
+
+class AioServer:
+    """One event-loop HTTP server over an :class:`AsyncServingApp`.
+
+    ``reuse_port=True`` lets N worker processes bind the same address and have
+    the kernel load-balance accepted connections across them (the
+    :mod:`supervisor <repro.serve.aio.supervisor>` topology).
+    """
+
+    def __init__(
+        self,
+        app: AsyncServingApp,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        reuse_port: bool = False,
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self.reuse_port = reuse_port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        kwargs: Dict[str, Any] = {"limit": MAX_HEADER_BYTES, "backlog": 128}
+        if self.reuse_port:
+            kwargs["reuse_port"] = True
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, **kwargs
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.app.aclose()
+
+    # -- connection handling --------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Parse pipelined requests; answer concurrently but in order.
+
+        Each parsed request immediately becomes a handler task, so request
+        N+1 computes while request N's response is still being written; a
+        FIFO queue drained by one writer coroutine guarantees response order
+        matches request order (the HTTP/1.1 pipelining contract).
+        """
+        self.app.connections += 1
+        queue: "asyncio.Queue[Optional[Future]]" = asyncio.Queue(maxsize=64)
+        drain = asyncio.get_running_loop().create_task(self._write_loop(queue, writer))
+        # Server shutdown cancels open keep-alive handlers; swallow that
+        # cancellation and exit normally so teardown stays quiet (asyncio's
+        # stream callback logs handlers that end up "cancelled").
+        cancelled = False
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _HttpError as error:
+                    await queue.put(
+                        _completed(_error_response(error.status, str(error), False))
+                    )
+                    break
+                if request is None:
+                    break
+                task = asyncio.get_running_loop().create_task(self._respond(request))
+                await queue.put(task)
+                if not request.keep_alive:
+                    break
+        except asyncio.CancelledError:
+            cancelled = True
+        finally:
+            if cancelled:
+                drain.cancel()
+            else:
+                try:
+                    await queue.put(None)
+                    await drain
+                except asyncio.CancelledError:
+                    drain.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _write_loop(
+        self, queue: "asyncio.Queue[Optional[Future]]", writer: asyncio.StreamWriter
+    ) -> None:
+        # Keep consuming the queue even after the client disconnects: the
+        # reader side blocks on `queue.put` for backpressure, so a writer
+        # that bailed outright would deadlock a pipelining client that
+        # slammed the connection shut with requests still queued.
+        client_gone = False
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            data = await asyncio.wrap_future(item) if isinstance(item, Future) else await item
+            if client_gone:
+                continue
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                client_gone = True
+
+    async def _respond(self, request: _Request) -> bytes:
+        keep = request.keep_alive
+        try:
+            if request.method == "GET":
+                return await self._respond_get(request)
+            if request.method != "POST":
+                return _error_response(405, f"method {request.method} not allowed", keep)
+            if request.path != "/v1/localize":
+                return _error_response(404, f"unknown path {request.path!r}", keep)
+            content_type = protocol.normalize_content_type(
+                request.headers.get("content-type")
+            )
+            payload = protocol.decode_body(request.body, content_type)
+            document = await self.app.localize_document_async(payload)
+            return _response(200, protocol.encode_body(document, content_type), content_type, keep)
+        except StoreError as error:
+            return _error_response(404, str(error), keep)
+        except GuardRejectedError as error:
+            body = json.dumps(
+                {
+                    "error": str(error),
+                    "defense": error.defense,
+                    "flagged": list(error.flagged_indices),
+                }
+            ).encode("utf-8")
+            return _response(403, body, protocol.CONTENT_JSON, keep)
+        except protocol.UnsupportedContentType as error:
+            return _error_response(415, str(error), keep)
+        except (protocol.ProtocolError, TypeError, ValueError) as error:
+            return _error_response(400, str(error), keep)
+        except Exception as error:  # pragma: no cover - defensive 500
+            return _error_response(500, f"{type(error).__name__}: {error}", keep)
+
+    async def _respond_get(self, request: _Request) -> bytes:
+        loop = asyncio.get_running_loop()
+        app = self.app
+        if request.path == "/healthz":
+            builder = app.health_document
+        elif request.path == "/metrics":
+            builder = app.metrics_document
+        elif request.path == "/v1/models":
+            builder = app.models_document
+        else:
+            return _error_response(404, f"unknown path {request.path!r}", request.keep_alive)
+        # Document builders read store manifests (file I/O) — off the loop.
+        document = await loop.run_in_executor(app._executor, builder)
+        body = json.dumps(document).encode("utf-8")
+        return _response(200, body, protocol.CONTENT_JSON, request.keep_alive)
+
+
+# ----------------------------------------------------------------------
+# HTTP framing helpers
+# ----------------------------------------------------------------------
+async def _read_request(reader: asyncio.StreamReader) -> Optional[_Request]:
+    """Parse one request head + body; ``None`` on a cleanly closed connection."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError:
+        return None  # connection closed between (or mid-) requests
+    except asyncio.LimitOverrunError:
+        raise _HttpError(431, "request header section too large") from None
+    except ConnectionError:
+        return None
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise _HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        key, separator, value = line.partition(":")
+        if not separator:
+            raise _HttpError(400, f"malformed header line {line!r}")
+        headers[key.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _HttpError(400, "invalid Content-Length") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise _HttpError(413, "invalid or oversized request body")
+    try:
+        body = await reader.readexactly(length) if length else b""
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    keep_alive = (
+        version == "HTTP/1.1"
+        and headers.get("connection", "keep-alive").lower() != "close"
+    )
+    return _Request(method, target.split("?", 1)[0], headers, body, keep_alive)
+
+
+def _response(status: int, body: bytes, content_type: str, keep_alive: bool) -> bytes:
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+def _error_response(status: int, message: str, keep_alive: bool) -> bytes:
+    body = json.dumps({"error": message}).encode("utf-8")
+    return _response(status, body, protocol.CONTENT_JSON, keep_alive)
+
+
+def _completed(data: bytes) -> Future:
+    future: Future = Future()
+    future.set_result(data)
+    return future
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+async def _run_server(
+    app: AsyncServingApp,
+    host: str,
+    port: int,
+    reuse_port: bool,
+    announce: bool,
+    started: Optional["Future[Tuple[AioServer, asyncio.AbstractEventLoop]]"] = None,
+    stop: Optional[asyncio.Event] = None,
+) -> None:
+    server = AioServer(app, host=host, port=port, reuse_port=reuse_port)
+    try:
+        await server.start()
+    except BaseException as error:
+        if started is not None and not started.done():
+            started.set_exception(error)
+            return
+        raise
+    if started is not None and not started.done():
+        started.set_result((server, asyncio.get_running_loop()))
+    if announce:
+        print(f"repro serve (aio): listening on http://{server.host}:{server.port}")
+        print(f"  store: {app.gateway.store.root}")
+        print(f"  content types: {', '.join(protocol.supported_content_types())}")
+    try:
+        if stop is not None:
+            async with server._server:  # serve until told to stop
+                await stop.wait()
+        else:
+            await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.aclose()
+
+
+def serve_aio(
+    store: Union[ModelStore, str, None],
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    routes: Optional[Mapping[str, Union[str, RouteSpec]]] = None,
+    reuse_port: bool = False,
+    announce: bool = True,
+    worker_id: Optional[int] = None,
+    **app_kwargs,
+) -> None:
+    """Blocking single-process asyncio server (``repro serve --aio``)."""
+    app = AsyncServingApp(store, routes=routes, worker_id=worker_id, **app_kwargs)
+    try:
+        asyncio.run(_run_server(app, host, port, reuse_port, announce))
+    except KeyboardInterrupt:
+        pass
+
+
+class AioServerThread:
+    """An asyncio server on a background thread (tests and benchmarks).
+
+    ``start()`` blocks until the port is bound (or raises the startup
+    failure); ``close()`` stops the loop and joins the thread.  Usable as a
+    context manager.
+    """
+
+    def __init__(self, store, host: str = "127.0.0.1", port: int = 0, **app_kwargs) -> None:
+        self._store = store
+        self._host = host
+        self._requested_port = port
+        self._app_kwargs = app_kwargs
+        self._started: "Future[Tuple[AioServer, asyncio.AbstractEventLoop]]" = Future()
+        self._stop: Optional[asyncio.Event] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-aio-server", daemon=True
+        )
+        self.app: Optional[AsyncServingApp] = None
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # surface startup failures to start()
+            if not self._started.done():
+                self._started.set_exception(error)
+
+    async def _main(self) -> None:
+        self.app = AsyncServingApp(self._store, **self._app_kwargs)
+        self._stop = asyncio.Event()
+        await _run_server(
+            self.app,
+            self._host,
+            self._requested_port,
+            reuse_port=False,
+            announce=False,
+            started=self._started,
+            stop=self._stop,
+        )
+
+    def start(self) -> "AioServerThread":
+        self._thread.start()
+        server, loop = self._started.result(timeout=30.0)
+        self.port = server.port
+        self._loop = loop
+        return self
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def drain_shadow_tasks(self, timeout: float = 30.0) -> None:
+        """Block (from any thread) until pending shadow mirrors are recorded."""
+        if self._loop is None or self.app is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.app.shadow_quiesce(), self._loop)
+        future.result(timeout=timeout)
+
+    def close(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already gone
+        self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "AioServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -253,4 +253,5 @@ def _slice_result(result: "LocalizationResult", start: int, stop: int):
             if result.guard_flags is not None
             else None
         ),
+        served_ref=result.served_ref,
     )

@@ -10,14 +10,24 @@ accumulates request counters and latency statistics for ``GET /metrics``.
 
 Routing never changes predictions: ``gateway.localize(endpoint, batch)`` is
 bit-identical to ``store.resolve(ref).localize(batch)``.
+
+Mutable references (``"calloc"``, ``"calloc@prod"``, ``"calloc@latest"``) are
+**pinned** to the immutable version they currently select (``"calloc@v2"``)
+and the pin is re-validated against the store's manifest signature — so a
+``repro store promote`` (or a new publish) hot-swaps what an endpoint serves
+with no restart, while every response still comes from exactly one immutable
+version (in-flight requests are never torn across versions: the service
+object they hold is immutable).
 """
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 from collections import OrderedDict, deque
-from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
 
 from ..defenses.base import GuardRejectedError
 from .store import ModelStore
@@ -26,6 +36,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..api import LocalizationResult, LocalizationService
 
 __all__ = ["EndpointStats", "Gateway", "percentile"]
+
+#: Selectors that name one immutable version forever (``@v2`` / ``@2``) —
+#: refs using them never need re-validation against the manifest.
+_VERSION_SELECTOR_RE = re.compile(r"v?\d+")
 
 
 def percentile(samples: List[float], q: float) -> Optional[float]:
@@ -109,6 +123,23 @@ def _ms(seconds: Optional[float]) -> Optional[float]:
     return round(seconds * 1000.0, 4) if seconds is not None else None
 
 
+@dataclass
+class _Pin:
+    """What a (possibly mutable) store ref currently resolves to."""
+
+    #: Immutable version ref (``"calloc@v2"``) — also the LRU key.
+    version_ref: str
+    #: Model name the ref addresses (the manifest watched for changes).
+    name: str
+    #: Tag/latest refs can move; ``name@vN`` refs are pinned forever.
+    mutable: bool
+    #: Manifest signature the pin was validated against (may be one write
+    #: stale — see :meth:`Gateway._pin` — which only costs one extra lookup).
+    signature: Optional[Tuple[int, int]]
+    #: ``time.monotonic()`` of the last validation (throttles the stat poll).
+    checked: float
+
+
 class Gateway:
     """Routes ``(endpoint, batch)`` requests to lazily-loaded store services.
 
@@ -121,6 +152,14 @@ class Gateway:
         the least-recently-used one is evicted when a new endpoint loads.
     routes:
         Optional initial ``endpoint -> store ref`` mapping.
+    watch_interval_s:
+        How long a validated pin of a *mutable* ref (tag/``latest``) is
+        trusted before the manifest signature is re-checked.  ``0`` (the
+        default) re-checks on every request — one ``stat`` call, cheap next
+        to inference — so promotes take effect immediately; raise it to
+        bound the poll rate on very hot endpoints.
+    stats_window:
+        Per-endpoint latency sample window (bounds /metrics memory).
     """
 
     def __init__(
@@ -128,18 +167,28 @@ class Gateway:
         store: ModelStore,
         max_loaded: int = 8,
         routes: Optional[Mapping[str, str]] = None,
+        watch_interval_s: float = 0.0,
+        stats_window: int = 1024,
     ) -> None:
         if max_loaded < 1:
             raise ValueError("max_loaded must be >= 1")
+        if stats_window < 1:
+            raise ValueError("stats_window must be >= 1")
         self.store = store
         self.max_loaded = int(max_loaded)
+        self.watch_interval_s = float(watch_interval_s)
+        self.stats_window = int(stats_window)
         self._routes: Dict[str, str] = dict(routes or {})
-        #: ref -> loaded service, in LRU order (most recent last).
+        #: Pinned immutable version behind each requested ref.
+        self._pins: Dict[str, _Pin] = {}
+        #: version ref -> loaded service, in LRU order (most recent last).
         self._loaded: "OrderedDict[str, LocalizationService]" = OrderedDict()
         self._stats: Dict[str, EndpointStats] = {}
         self._lock = threading.Lock()
         self.loads = 0
         self.evictions = 0
+        #: Times a watched mutable ref re-resolved to a different version.
+        self.promotions = 0
 
     # -- routing --------------------------------------------------------
     def add_route(self, endpoint: str, ref: str) -> None:
@@ -163,16 +212,70 @@ class Gateway:
         return sorted(explicit | set(self.store.list_models()))
 
     # -- service loading ------------------------------------------------
+    def _pin(self, ref: str) -> str:
+        """The immutable version ref (``name@vN``) behind ``ref``, watched.
+
+        Immutable refs pin once and are trusted forever.  Mutable refs
+        (bare name / tag / ``@latest``) are re-validated against the store's
+        manifest signature — one ``stat`` call — and re-resolved exactly when
+        a publish/promote replaced the manifest, which is how ``repro store
+        promote`` swaps a live endpoint with no restart.
+        """
+        name, _, selector = str(ref).partition("@")
+        mutable = not (selector and _VERSION_SELECTOR_RE.fullmatch(selector))
+        now = time.monotonic()
+        with self._lock:
+            pin = self._pins.get(ref)
+            if pin is not None and (
+                not pin.mutable
+                or (self.watch_interval_s > 0 and now - pin.checked < self.watch_interval_s)
+            ):
+                return pin.version_ref
+        # Signature and lookup both happen outside the lock (file I/O).  The
+        # signature is read *before* the lookup: if a promote lands between
+        # the two, we may cache the pre-promote signature with the
+        # post-promote version — the next validation then sees a "changed"
+        # signature and re-looks-up, converging in one extra cheap round
+        # rather than ever serving a stale pin as fresh.
+        signature = self.store.manifest_signature(name) if mutable else None
+        if mutable:
+            with self._lock:
+                pin = self._pins.get(ref)
+                if pin is not None and pin.signature == signature:
+                    pin.checked = now
+                    return pin.version_ref
+        version = self.store.lookup(ref)
+        with self._lock:
+            pin = self._pins.get(ref)
+            if pin is not None and pin.version_ref != version.ref:
+                self.promotions += 1
+            self._pins[ref] = _Pin(
+                version_ref=version.ref,
+                name=name,
+                mutable=mutable,
+                signature=signature,
+                checked=now,
+            )
+            return version.ref
+
+    def resolved_version(self, endpoint: str) -> str:
+        """The immutable version ref ``endpoint`` currently serves."""
+        return self._pin(self.resolve_endpoint(endpoint))
+
     def service_for(self, endpoint: str) -> "LocalizationService":
         """The loaded service behind ``endpoint`` (lazy load + LRU update)."""
-        ref = self.resolve_endpoint(endpoint)
+        return self._service_for_ref(self._pin(self.resolve_endpoint(endpoint)))
+
+    def _service_for_ref(self, ref: str) -> "LocalizationService":
+        """The loaded service behind an already-pinned immutable ref."""
         with self._lock:
             service = self._loaded.get(ref)
             if service is not None:
                 self._loaded.move_to_end(ref)
                 return service
         # Resolve outside the lock: store I/O may be slow and must not block
-        # requests for already-loaded endpoints.
+        # requests for already-loaded endpoints.  ``ref`` is an immutable
+        # version ref, so a concurrent promote cannot change what it loads.
         service = self.store.resolve(ref)
         with self._lock:
             if ref not in self._loaded:
@@ -194,7 +297,7 @@ class Gateway:
         with self._lock:
             stats = self._stats.get(endpoint)
             if stats is None:
-                stats = self._stats[endpoint] = EndpointStats()
+                stats = self._stats[endpoint] = EndpointStats(window=self.stats_window)
             return stats
 
     def localize(
@@ -218,7 +321,8 @@ class Gateway:
         # Resolve before touching stats: an unknown endpoint must not leave a
         # permanent EndpointStats entry behind (a fuzzing client would grow
         # /metrics without bound, one entry per bogus name).
-        service = self.service_for(endpoint)
+        ref = self._pin(self.resolve_endpoint(endpoint))
+        service = self._service_for_ref(ref)
         stats = self._stats_for(endpoint)
         try:
             result = service.localize(batch)
@@ -230,6 +334,10 @@ class Gateway:
             if not suppress_error_stats:
                 stats.record_error()
             raise
+        # Stamp the version that actually scored the batch: reading the pin
+        # again after the fact could race a concurrent promote and report a
+        # version the labels did not come from.
+        result.served_ref = ref
         flags = getattr(result, "guard_flags", None)
         if flags is not None:
             stats.record_guard(int(flags.sum()))
@@ -245,13 +353,16 @@ class Gateway:
             }
             loaded = list(self._loaded)
             routes = dict(self._routes)
+            resolved = {ref: pin.version_ref for ref, pin in self._pins.items()}
         return {
             "endpoints": endpoint_stats,
             "loaded": loaded,
             "loads": self.loads,
             "evictions": self.evictions,
             "max_loaded": self.max_loaded,
+            "promotions": self.promotions,
             "routes": routes,
+            "resolved": resolved,
             "store": {
                 "root": str(self.store.root),
                 "models": self.store.list_models(),

@@ -32,18 +32,29 @@ Programmatic use::
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
 from functools import partial
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from ..defenses.base import GuardRejectedError
+# The aio subpackage hosts the wire codecs and the shared localize
+# request/response semantics; both front ends route through them so the two
+# servers cannot drift apart in validation or response shape.
+from .aio.protocol import (
+    CONTENT_JSON,
+    build_localize_document,
+    decode_body,
+    encode_body,
+    normalize_content_type,
+    parse_localize_payload,
+)
 from .batching import MicroBatcher
 from .gateway import Gateway
 from .store import ModelStore, StoreError
@@ -52,11 +63,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..api import LocalizationResult
 
 __all__ = ["ServingApp", "ServiceClient", "create_server", "serve"]
-
-
-def _jsonable_floats(values: np.ndarray) -> List[Optional[float]]:
-    """Float array -> JSON list; NaN (no probability model) becomes ``null``."""
-    return [None if np.isnan(v) else float(v) for v in np.asarray(values, dtype=np.float64)]
 
 
 class ServingApp:
@@ -76,8 +82,16 @@ class ServingApp:
         batching: bool = True,
         max_batch: int = 64,
         max_wait_ms: float = 5.0,
+        watch_interval_s: float = 0.0,
+        stats_window: int = 1024,
     ) -> None:
-        self.gateway = Gateway(store, max_loaded=max_loaded, routes=routes)
+        self.gateway = Gateway(
+            store,
+            max_loaded=max_loaded,
+            routes=routes,
+            watch_interval_s=watch_interval_s,
+            stats_window=stats_window,
+        )
         self.batching = bool(batching)
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
@@ -124,42 +138,13 @@ class ServingApp:
     # -- documents ------------------------------------------------------
     def localize_document(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
         """Handle a parsed ``POST /v1/localize`` body; returns the response."""
-        if not isinstance(payload, Mapping):
-            raise ValueError("request body must be a JSON object")
-        endpoint = payload.get("model")
-        if not endpoint or not isinstance(endpoint, str):
-            raise ValueError("request must name a 'model' (endpoint or store ref)")
-        fingerprints = payload.get("fingerprints", payload.get("fingerprint"))
-        if fingerprints is None:
-            raise ValueError("request must carry 'fingerprints' (or 'fingerprint')")
-        features = np.asarray(fingerprints, dtype=np.float64)
-        if features.ndim == 1:
-            # A flat list is one fingerprint; the empty list is an empty batch.
-            features = features.reshape(0, 0) if features.size == 0 else features[None, :]
-        if features.ndim != 2:
-            raise ValueError(
-                f"fingerprints must be a (n, num_aps) matrix, got shape {features.shape}"
-            )
+        endpoint, features, probabilities = parse_localize_payload(payload)
         result = self.localize(endpoint, features)
-        document: Dict[str, Any] = {
-            "model": endpoint,
-            "ref": self.gateway.resolve_endpoint(endpoint),
-            "count": len(result),
-            "labels": [int(v) for v in result.labels],
-            "coordinates": [[float(x), float(y)] for x, y in result.coordinates],
-            "error_estimate": _jsonable_floats(result.error_estimate),
-        }
-        if payload.get("probabilities") and result.probabilities is not None:
-            document["probabilities"] = [
-                [float(v) for v in row] for row in result.probabilities
-            ]
-        if result.guard_flags is not None:
-            # Monitor-mode guard verdicts: indices the detector flagged
-            # (enforce mode rejects the whole request with 403 instead).
-            document["guard_flagged"] = [
-                int(i) for i in np.flatnonzero(result.guard_flags)
-            ]
-        return document
+        # ``ref`` is the *pinned immutable version* the response came from
+        # (``knn@v2``), not just the routed ref — the field clients watch to
+        # observe a hot promote flip.  The gateway stamps it at scoring time.
+        ref = result.served_ref or self.gateway.resolved_version(endpoint)
+        return build_localize_document(endpoint, ref, result, probabilities)
 
     def models_document(self) -> Dict[str, Any]:
         """``GET /v1/models``: the shared machine-readable catalog format."""
@@ -237,6 +222,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"unknown path {path!r}")
 
     def do_POST(self) -> None:  # noqa: N802
+        from .aio.protocol import ProtocolError, UnsupportedContentType
+
         path = self.path.split("?", 1)[0]
         if path != "/v1/localize":
             self._send_error_json(404, f"unknown path {path!r}")
@@ -249,9 +236,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(413, "invalid or oversized request body")
             return
         try:
-            payload = json.loads(self.rfile.read(length).decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            self._send_error_json(400, f"malformed JSON body: {error}")
+            content_type = normalize_content_type(self.headers.get("Content-Type"))
+            payload = decode_body(self.rfile.read(length), content_type)
+        except UnsupportedContentType as error:
+            self._send_error_json(415, str(error))
+            return
+        except ProtocolError as error:
+            self._send_error_json(400, str(error))
             return
         try:
             document = self.app.localize_document(payload)
@@ -273,7 +264,25 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as error:  # pragma: no cover - defensive 500
             self._send_error_json(500, f"{type(error).__name__}: {error}")
         else:
-            self._send_json(200, document)
+            # Responses mirror the request's negotiated encoding.
+            body = encode_body(document, content_type)
+            self.send_response(200)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+
+class _ServingHTTPServer(ThreadingHTTPServer):
+    """Stdlib server with a serving-grade accept backlog.
+
+    socketserver's default ``request_queue_size`` of 5 resets fresh
+    connections when many clients connect in a burst; match the asyncio
+    tier's listen backlog instead.
+    """
+
+    request_queue_size = 128
+    daemon_threads = True
 
 
 def create_server(
@@ -285,6 +294,8 @@ def create_server(
     max_batch: int = 64,
     max_wait_ms: float = 5.0,
     max_loaded: int = 8,
+    watch_interval_s: float = 0.0,
+    stats_window: int = 1024,
 ) -> ThreadingHTTPServer:
     """Build the serving HTTP server (not yet serving; call ``serve_forever``).
 
@@ -301,8 +312,10 @@ def create_server(
         batching=batching,
         max_batch=max_batch,
         max_wait_ms=max_wait_ms,
+        watch_interval_s=watch_interval_s,
+        stats_window=stats_window,
     )
-    server = ThreadingHTTPServer((host, port), partial(_Handler, app))
+    server = _ServingHTTPServer((host, port), partial(_Handler, app))
     server.app = app  # type: ignore[attr-defined]
     return server
 
@@ -329,42 +342,131 @@ def serve(
         server.server_close()
 
 
+#: Failures that mean "the server closed our idle keep-alive connection" —
+#: safe to retry exactly once on a fresh connection.  Timeouts are excluded:
+#: the request may have executed, so retrying could double-submit it.
+_RETRYABLE = (
+    http.client.BadStatusLine,  # includes RemoteDisconnected
+    http.client.CannotSendRequest,
+    ConnectionResetError,
+    BrokenPipeError,
+)
+
+
 class ServiceClient:
-    """Thin JSON client for a ``repro serve`` endpoint.
+    """Thin client for a ``repro serve`` endpoint (stdlib or aio).
 
     :meth:`localize` mirrors :meth:`LocalizationService.localize`: it returns
     a :class:`~repro.api.LocalizationResult` built from the response arrays.
+
+    The client holds one keep-alive connection and reuses it across requests
+    (``connections_opened`` counts how many were actually established).  A
+    server may close an idle connection between requests; a send that then
+    fails with a connection-level error is retried exactly once on a fresh
+    connection before surfacing.  ``content_type`` selects the wire encoding
+    for localize bodies: JSON (default), ``application/x-repro-ndarray``, or
+    ``application/msgpack`` where available.  Not thread-safe — use one
+    client per thread (the benchmark drivers do).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        content_type: str = CONTENT_JSON,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.content_type = normalize_content_type(content_type)
+        split = urllib.parse.urlsplit(self.base_url)
+        if split.scheme not in ("http", ""):
+            raise ValueError(f"ServiceClient speaks plain http, got '{split.scheme}'")
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port or 80
+        self._connection: Optional[http.client.HTTPConnection] = None
+        #: Connections actually established (1 across N requests = keep-alive).
+        self.connections_opened = 0
 
     # -- plumbing -------------------------------------------------------
-    def _request(
-        self, path: str, payload: Optional[Mapping[str, Any]] = None
-    ) -> Dict[str, Any]:
-        url = f"{self.base_url}{path}"
-        data = json.dumps(payload).encode("utf-8") if payload is not None else None
-        request = urllib.request.Request(
-            url,
-            data=data,
-            headers={"Content-Type": "application/json"} if data else {},
-            method="POST" if data is not None else "GET",
+    def _connect(self) -> http.client.HTTPConnection:
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout
         )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
+        connection.connect()
+        self.connections_opened += 1
+        return connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(
+        self,
+        path: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        content_type: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        method = "GET" if payload is None else "POST"
+        encoding = content_type or self.content_type
+        body = encode_body(payload, encoding) if payload is not None else None
+        headers = {"Content-Type": encoding} if body is not None else {}
+        for attempt in (0, 1):
+            reused = self._connection is not None
+            connection = self._connection or self._connect()
+            self._connection = None
             try:
-                message = json.loads(error.read().decode("utf-8")).get("error", "")
-            except Exception:
-                message = error.reason
-            raise RuntimeError(
-                f"{request.get_method()} {path} failed with {error.code}: {message}"
-            ) from error
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except _RETRYABLE as error:
+                connection.close()
+                # Only a *reused* connection can have been closed while idle;
+                # a failure on a fresh one is a real error.  One retry max.
+                if reused and attempt == 0:
+                    continue
+                raise RuntimeError(
+                    f"{method} {path} failed: {type(error).__name__}: {error}"
+                ) from error
+            except OSError:
+                connection.close()
+                raise
+            self._connection = connection  # keep alive for the next request
+            response_type = normalize_content_type(
+                response.getheader("Content-Type")
+            )
+            if response.status != 200:
+                try:
+                    message = decode_body(raw, response_type).get("error", "")
+                except Exception:
+                    message = raw.decode("utf-8", "replace")
+                raise RuntimeError(
+                    f"{method} {path} failed with {response.status}: {message}"
+                )
+            return decode_body(raw, response_type)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- endpoints ------------------------------------------------------
+    def localize_document(
+        self,
+        fingerprints: Sequence,
+        model: str,
+        probabilities: bool = False,
+    ) -> Dict[str, Any]:
+        """The raw ``/v1/localize`` response document (includes the served
+        ``ref``, so promote/canary tooling can see which version answered)."""
+        features = np.asarray(fingerprints, dtype=np.float64)
+        payload: Dict[str, Any] = {"model": model, "fingerprints": features}
+        if probabilities:
+            payload["probabilities"] = True
+        return self._request("/v1/localize", payload)
+
     def localize(
         self,
         fingerprints: Sequence,
@@ -374,14 +476,7 @@ class ServiceClient:
         """Localize a batch through the HTTP API; bit-identical to direct calls."""
         from ..api import LocalizationResult
 
-        features = np.asarray(fingerprints, dtype=np.float64)
-        payload: Dict[str, Any] = {
-            "model": model,
-            "fingerprints": features.tolist(),
-        }
-        if probabilities:
-            payload["probabilities"] = True
-        document = self._request("/v1/localize", payload)
+        document = self.localize_document(fingerprints, model, probabilities)
         error_estimate = np.array(
             [np.nan if v is None else v for v in document["error_estimate"]],
             dtype=np.float64,
@@ -393,7 +488,11 @@ class ServiceClient:
                 len(document["labels"]), 2
             ),
             error_estimate=error_estimate,
-            probabilities=np.asarray(proba, dtype=np.float64) if proba else None,
+            probabilities=(
+                np.asarray(proba, dtype=np.float64)
+                if proba is not None and len(proba)
+                else None
+            ),
         )
 
     def models(self) -> Dict[str, Any]:

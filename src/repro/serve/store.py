@@ -180,6 +180,21 @@ class ModelStore:
             finally:
                 fcntl.flock(handle, fcntl.LOCK_UN)
 
+    def manifest_signature(self, name: str) -> Optional[Tuple[int, int]]:
+        """Cheap change signal of one model's manifest: ``(st_mtime_ns, st_size)``.
+
+        Manifests are only ever swapped whole via ``os.replace`` (see
+        :meth:`_write_manifest`), so any publish/promote/rollback lands as a
+        new inode with a new mtime — a gateway can poll this with one
+        ``stat`` per request instead of re-reading JSON, and reload exactly
+        when the signature changes.  ``None`` means no manifest exists.
+        """
+        try:
+            stat = self._manifest_path(name).stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
     def _read_manifest(self, name: str) -> Optional[Dict[str, Any]]:
         path = self._manifest_path(name)
         if not path.exists():

@@ -59,7 +59,8 @@ class TestLazyLoadingAndEviction:
         gateway = Gateway(store)
         assert gateway.loaded_refs() == []
         gateway.localize("knn1", tiny_campaign.test_for("S7").features)
-        assert gateway.loaded_refs() == ["knn1"]
+        # Loaded services are keyed by the *pinned* immutable version ref.
+        assert gateway.loaded_refs() == ["knn1@v1"]
         assert gateway.loads == 1
         # Second request reuses the loaded service.
         gateway.localize("knn1", tiny_campaign.test_for("S7").features)
@@ -72,7 +73,7 @@ class TestLazyLoadingAndEviction:
         gateway.localize("knn3", features)
         gateway.localize("knn1", features)  # refresh knn1 -> knn3 becomes LRU
         gateway.localize("knn5", features)  # evicts knn3
-        assert set(gateway.loaded_refs()) == {"knn1", "knn5"}
+        assert set(gateway.loaded_refs()) == {"knn1@v1", "knn5@v1"}
         assert gateway.evictions == 1
         # Evicted endpoints transparently reload.
         gateway.localize("knn3", features)
@@ -97,6 +98,23 @@ class TestStats:
         assert endpoint["latency_ms"]["p50"] is not None
         assert endpoint["latency_ms"]["p99"] >= endpoint["latency_ms"]["p50"]
         assert stats["store"]["models"] == ["knn1", "knn3", "knn5"]
+
+    def test_latency_window_is_bounded(self, store, tiny_campaign):
+        """Regression: a long-lived gateway must not accumulate one latency
+        sample per request forever — the percentile window is bounded."""
+        gateway = Gateway(store, stats_window=4)
+        features = tiny_campaign.test_for("S7").features
+        for _ in range(10):
+            gateway.localize("knn3@prod", features)
+        endpoint_stats = gateway._stats["knn3@prod"]
+        assert endpoint_stats.latencies.maxlen == 4
+        assert len(endpoint_stats.latencies) == 4
+        # Counters still see every request; only the window is bounded.
+        assert gateway.stats()["endpoints"]["knn3@prod"]["requests"] == 10
+
+    def test_stats_window_validated(self, store):
+        with pytest.raises(ValueError):
+            Gateway(store, stats_window=0)
 
     def test_percentile_helper(self):
         assert percentile([], 50) is None

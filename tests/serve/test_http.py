@@ -161,7 +161,17 @@ class TestIntrospectionEndpoints:
         batching = metrics["batching"]
         assert batching["enabled"] is True
         assert batching["endpoints"]["knn@prod"]["requests"] == 2
-        assert metrics["gateway"]["loaded"] == ["knn@prod"]
+        assert metrics["gateway"]["loaded"] == ["knn@v1"]
+
+
+class TestKeepAlive:
+    def test_client_reuses_one_connection(self, client, tiny_campaign):
+        features = tiny_campaign.test_for("S7").features
+        for _ in range(5):
+            client.localize(features[:1], model="knn")
+        client.health()
+        client.metrics()
+        assert client.connections_opened == 1
 
 
 class TestUnbatchedMode:
