@@ -87,7 +87,7 @@ from .registry import (
 from .queue import QueueWorker, RunLedger, WorkerOptions, collect_results
 from .serve import Gateway, MicroBatcher, ModelStore, ServiceClient
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "CALLOC",

@@ -41,6 +41,7 @@ _SCOPES = (
     "repro/eval/engine.py",
     "repro/data/io.py",
     "repro/eval/reporting.py",
+    "repro/obs/",
 )
 
 #: The sanctioned atomic-write entry points.

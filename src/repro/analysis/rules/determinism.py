@@ -60,12 +60,12 @@ _WALLCLOCK = {
 _RNG_SCOPES = (
     "repro/nn/", "repro/attacks/", "repro/defenses/", "repro/core/",
     "repro/data/", "repro/eval/", "repro/baselines/", "repro/queue/",
-    "repro/serve/aio/",
+    "repro/serve/aio/", "repro/obs/",
 )
 _WALLCLOCK_SCOPES = (
     "repro/nn/", "repro/attacks/", "repro/defenses/", "repro/core/",
     "repro/data/", "repro/eval/", "repro/baselines/",
-    "repro/serve/aio/",
+    "repro/serve/aio/", "repro/obs/",
 )
 
 

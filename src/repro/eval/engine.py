@@ -197,6 +197,21 @@ def cache_key(kind: str, payload: Any) -> str:
     return hashlib.sha256(document.encode("utf-8")).hexdigest()
 
 
+def _mirror_cache_counter(outcome: str) -> None:
+    """Mirror one cache outcome into the process-global metrics registry.
+
+    The per-instance :class:`CacheStats` ints stay the exact source of truth
+    (tests and reports compare them); the registry series aggregate across
+    every cache instance of the process for ``repro obs`` and Prometheus.
+    """
+    from ..obs.metrics import REGISTRY
+
+    REGISTRY.counter(
+        "repro_cache_operations_total",
+        "Artifact cache outcomes across every cache instance", ("outcome",)
+    ).labels(outcome=outcome).inc()
+
+
 @dataclass
 class CacheStats:
     """Hit/miss/store counters of one :class:`ArtifactCache` instance."""
@@ -204,6 +219,18 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+
+    def record_hit(self) -> None:
+        self.hits += 1
+        _mirror_cache_counter("hit")
+
+    def record_miss(self) -> None:
+        self.misses += 1
+        _mirror_cache_counter("miss")
+
+    def record_store(self) -> None:
+        self.stores += 1
+        _mirror_cache_counter("store")
 
     def as_dict(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
@@ -302,9 +329,9 @@ class ArtifactCache:
             self.path_for(kind, digest, "pkl"), self._load_pickle
         )
         if value is None:
-            self.stats.misses += 1
+            self.stats.record_miss()
             return None
-        self.stats.hits += 1
+        self.stats.record_hit()
         return value
 
     def put_pickle(self, kind: str, digest: str, value: Any) -> None:
@@ -316,7 +343,7 @@ class ArtifactCache:
                 pickle.dump(value, stream, protocol=pickle.HIGHEST_PROTOCOL)
 
         self._write_atomic(self.path_for(kind, digest, "pkl"), writer)
-        self.stats.stores += 1
+        self.stats.record_store()
 
     # -- array payloads (via repro.nn.serialization) --------------------
     def get_arrays(self, kind: str, digest: str) -> Optional[Dict[str, np.ndarray]]:
@@ -326,9 +353,9 @@ class ArtifactCache:
             self.path_for(kind, digest, "npz"), load_state_dict
         )
         if arrays is None:
-            self.stats.misses += 1
+            self.stats.record_miss()
             return None
-        self.stats.hits += 1
+        self.stats.record_hit()
         return arrays
 
     def get_either(
@@ -349,15 +376,15 @@ class ArtifactCache:
             self.path_for(kind, digest, "npz"), load_state_dict
         )
         if arrays is not None:
-            self.stats.hits += 1
+            self.stats.record_hit()
             return ("arrays", arrays)
         value = self._read_or_discard(
             self.path_for(kind, digest, "pkl"), self._load_pickle
         )
         if value is not None:
-            self.stats.hits += 1
+            self.stats.record_hit()
             return ("pickle", value)
-        self.stats.misses += 1
+        self.stats.record_miss()
         return None
 
     def export(self, kind: str, digest: str, destination: Union[str, Path]) -> Path:
@@ -396,7 +423,7 @@ class ArtifactCache:
             return save_state_dict(arrays, temp_path.with_suffix(".npz"))
 
         self._write_atomic(self.path_for(kind, digest, "npz"), writer)
-        self.stats.stores += 1
+        self.stats.record_store()
 
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "disabled"
@@ -986,9 +1013,9 @@ def _campaign_memo_get_or_build(digest, builder):
 def _worker_campaign(
     building: str, config: EvaluationConfig, cache_spec: Optional[Tuple[str, bool]]
 ) -> Tuple[LocalizationCampaign, str]:
-    campaign, digest = simulate_campaign(
-        building, config, ArtifactCache.from_spec(cache_spec)
-    )
+    cache = ArtifactCache.from_spec(cache_spec)
+    with _unit_span(CampaignUnit(building=building), config, cache):
+        campaign, digest = simulate_campaign(building, config, cache)
     with _CAMPAIGN_LOCK:
         _CAMPAIGN_MEMO[digest] = campaign
     return campaign, digest
@@ -1057,30 +1084,33 @@ def _worker_task_group(
     """
     campaign = _worker_get_campaign(building, campaign_digest, config, cache_spec)
     cache = ArtifactCache.from_spec(cache_spec)
-    model, model_digest = train_localizer(task, campaign, campaign_digest, cache)
+    with _unit_span(TrainUnit(task=task, building=building), config, cache):
+        model, model_digest = train_localizer(task, campaign, campaign_digest, cache)
     stats_by_unit: Dict[int, List[ErrorStats]] = {}
     for index, unit in eval_units:
-        stats_by_unit[index] = evaluate_unit(
-            unit,
-            model,
-            model_digest,
-            campaign,
-            config,
-            cache,
-            surrogates=_WORKER_MEMO.surrogates,
-        )
+        with _unit_span(unit, config, cache):
+            stats_by_unit[index] = evaluate_unit(
+                unit,
+                model,
+                model_digest,
+                campaign,
+                config,
+                cache,
+                surrogates=_WORKER_MEMO.surrogates,
+            )
     scenario_outcomes: Dict[int, Tuple[ErrorStats, AttackScenario]] = {}
     for index, unit in scenario_units:
-        scenario_outcomes[index] = evaluate_scenario_unit(
-            unit,
-            model,
-            model_digest,
-            campaign,
-            campaign_digest,
-            config,
-            cache,
-            surrogates=_WORKER_MEMO.surrogates,
-        )
+        with _unit_span(unit, config, cache):
+            scenario_outcomes[index] = evaluate_scenario_unit(
+                unit,
+                model,
+                model_digest,
+                campaign,
+                campaign_digest,
+                config,
+                cache,
+                surrogates=_WORKER_MEMO.surrogates,
+            )
     return stats_by_unit, scenario_outcomes
 
 
@@ -1170,6 +1200,63 @@ def unit_title(unit: PlanUnit) -> str:
     raise TypeError(f"not a plan unit: {unit!r}")
 
 
+class _unit_span:
+    """``engine.unit`` span around one executed plan unit.
+
+    Captures the cache instance's hit/miss counters on entry and stamps the
+    delta on exit, so every unit span carries its own cache attribution
+    (``cache_hits``/``cache_misses`` match exactly what the unit's
+    :class:`ArtifactCache` recorded while it ran).  Zero-cost while
+    telemetry is disabled (no ids computed, no clock reads).  Sequential
+    use only — a unit span must wrap one unit on one thread at a time,
+    which is how every execution path runs units.
+    """
+
+    __slots__ = ("_inner", "_stats", "_before", "_live")
+
+    def __init__(
+        self,
+        unit: PlanUnit,
+        config: EvaluationConfig,
+        cache: Optional[ArtifactCache],
+    ) -> None:
+        from ..obs import trace
+
+        if not trace.telemetry_enabled():
+            self._inner = None
+            return
+        self._inner = trace.span(
+            "engine.unit",
+            kind=unit_kind(unit),
+            unit_id=unit_id(unit, config),
+            title=unit_title(unit),
+        )
+        self._stats = cache.stats if cache is not None else None
+        self._before = (
+            (self._stats.hits, self._stats.misses)
+            if self._stats is not None
+            else (0, 0)
+        )
+
+    def __enter__(self):
+        if self._inner is None:
+            self._live = None
+        else:
+            self._live = self._inner.__enter__()
+        return self._live
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._inner is None:
+            return
+        if self._stats is not None and self._live is not None:
+            hits, misses = self._before
+            self._live.set(
+                cache_hits=self._stats.hits - hits,
+                cache_misses=self._stats.misses - misses,
+            )
+        self._inner.__exit__(exc_type, exc, tb)
+
+
 def _memoised_campaign(
     building: str, config: EvaluationConfig, cache: Optional[ArtifactCache]
 ) -> Tuple[LocalizationCampaign, str]:
@@ -1229,6 +1316,15 @@ def execute_unit(
     thread (the same memos the pool workers use), so a long-lived queue
     worker pays campaign/model deserialisation once, not once per unit.
     """
+    with _unit_span(unit, config, cache):
+        return _execute_unit(unit, config, cache)
+
+
+def _execute_unit(
+    unit: PlanUnit,
+    config: EvaluationConfig,
+    cache: Optional[ArtifactCache],
+) -> Dict[str, Any]:
     if isinstance(unit, CampaignUnit):
         _, digest = _memoised_campaign(unit.building, config, cache)
         return {"digest": digest}
@@ -1402,27 +1498,30 @@ class ExecutionEngine:
     ) -> Tuple[Dict[int, List[ErrorStats]], Dict[int, Tuple[ErrorStats, AttackScenario]]]:
         campaigns: Dict[str, Tuple[LocalizationCampaign, str]] = {}
         for unit in plan.campaign_units:
-            campaigns[unit.building] = self._campaign_with_digest(unit.building)
+            with _unit_span(unit, self.config, self.cache):
+                campaigns[unit.building] = self._campaign_with_digest(unit.building)
         models: Dict[Tuple[str, str], Tuple[Localizer, str]] = {}
         for train_unit in plan.train_units:
             campaign, campaign_digest = campaigns[train_unit.building]
-            models[(train_unit.task.key, train_unit.building)] = train_localizer(
-                train_unit.task, campaign, campaign_digest, self.cache
-            )
+            with _unit_span(train_unit, self.config, self.cache):
+                models[(train_unit.task.key, train_unit.building)] = train_localizer(
+                    train_unit.task, campaign, campaign_digest, self.cache
+                )
         surrogates: Dict[str, SurrogateGradientModel] = {}
         stats_by_unit: Dict[int, List[ErrorStats]] = {}
         for index, eval_unit in enumerate(plan.eval_units):
             campaign, _ = campaigns[eval_unit.building]
             model, model_digest = models[(eval_unit.task.key, eval_unit.building)]
-            stats_by_unit[index] = evaluate_unit(
-                eval_unit,
-                model,
-                model_digest,
-                campaign,
-                self.config,
-                self.cache,
-                surrogates=surrogates,
-            )
+            with _unit_span(eval_unit, self.config, self.cache):
+                stats_by_unit[index] = evaluate_unit(
+                    eval_unit,
+                    model,
+                    model_digest,
+                    campaign,
+                    self.config,
+                    self.cache,
+                    surrogates=surrogates,
+                )
         scenario_outcomes: Dict[int, Tuple[ErrorStats, AttackScenario]] = {}
         for index, scenario_unit in enumerate(plan.scenario_units):
             campaign, campaign_digest = campaigns[scenario_unit.building]
@@ -1432,16 +1531,17 @@ class ExecutionEngine:
                 ]
             else:
                 model, model_digest = None, None
-            scenario_outcomes[index] = evaluate_scenario_unit(
-                scenario_unit,
-                model,
-                model_digest,
-                campaign,
-                campaign_digest,
-                self.config,
-                self.cache,
-                surrogates=surrogates,
-            )
+            with _unit_span(scenario_unit, self.config, self.cache):
+                scenario_outcomes[index] = evaluate_scenario_unit(
+                    scenario_unit,
+                    model,
+                    model_digest,
+                    campaign,
+                    campaign_digest,
+                    self.config,
+                    self.cache,
+                    surrogates=surrogates,
+                )
         return stats_by_unit, scenario_outcomes
 
     # -- parallel path --------------------------------------------------

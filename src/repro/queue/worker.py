@@ -33,6 +33,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from ..eval.engine import ArtifactCache, execute_unit
+from ..obs import events, trace
+from ..obs.metrics import REGISTRY
 from .ledger import (
     LEASE_BREAK_GRACE_S,
     STATE_DONE,
@@ -65,6 +67,13 @@ _RUNNING_BEAT_S = 1.0
 def default_worker_id() -> str:
     """``host:pid`` — unique per worker process across machines."""
     return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def _lease_counter(action: str) -> None:
+    """Process-global lease transition counter (acquired/released/expired)."""
+    REGISTRY.counter(
+        "repro_queue_leases_total", "Queue lease transitions", ("action",)
+    ).labels(action=action).inc()
 
 
 @dataclass(frozen=True)
@@ -127,6 +136,9 @@ class _Heartbeat:
         while not self._stop.wait(interval):
             if not self._ledger.renew_lease(self._uid, self._worker, self._ttl_s):
                 return  # lease lost (broken as expired) — stop renewing
+            REGISTRY.counter(
+                "repro_queue_heartbeats_total", "Successful lease renewals"
+            ).inc()
 
 
 class QueueWorker:
@@ -233,11 +245,29 @@ class QueueWorker:
                         self.options.backoff_s,
                         self.options.backoff_cap_s,
                     )
+                    _lease_counter("expired")
+                    events.emit(
+                        "queue.lease",
+                        action="expired",
+                        run_id=self.ledger.run_id,
+                        unit_id=entry.id,
+                        holder=lease.worker,
+                        breaker=self.worker_id,
+                    )
                 continue
             if not self.ledger.acquire_lease(
                 entry.id, self.worker_id, self.options.ttl_s
             ):
                 continue
+            _lease_counter("acquired")
+            events.emit(
+                "queue.lease",
+                action="acquired",
+                run_id=self.ledger.run_id,
+                unit_id=entry.id,
+                worker=self.worker_id,
+                ttl_s=self.options.ttl_s,
+            )
             # Re-check under the lease: another worker may have finished the
             # unit between our state read and the acquisition.
             if self.ledger.unit_state(entry.id).terminal:
@@ -250,15 +280,28 @@ class QueueWorker:
     # -- execution ------------------------------------------------------
     def _run_unit(self, entry: UnitEntry) -> None:
         unit = self._plan_units[entry.id]
+        attempt = self.ledger.unit_state(entry.id).attempts + 1
+        outcome_state = STATE_DONE
         try:
-            with _Heartbeat(
-                self.ledger, entry.id, self.worker_id, self.options.ttl_s
+            with trace.span(
+                "queue.unit",
+                run_id=self.ledger.run_id,
+                unit_id=entry.id,
+                attempt=attempt,
+                worker=self.worker_id,
+                lease_ttl_s=self.options.ttl_s,
             ):
-                outcome = self._execute(unit, self.ledger.config, self.ledger.cache)
+                with _Heartbeat(
+                    self.ledger, entry.id, self.worker_id, self.options.ttl_s
+                ):
+                    outcome = self._execute(
+                        unit, self.ledger.config, self.ledger.cache
+                    )
             self.ledger.write_result(entry.id, outcome)
             self.ledger.mark_done(entry.id, self.worker_id)
         except Exception:
-            self.ledger.record_failed_attempt(
+            outcome_state = "retry"
+            state = self.ledger.record_failed_attempt(
                 entry.id,
                 self.worker_id,
                 traceback.format_exc(limit=8),
@@ -266,8 +309,23 @@ class QueueWorker:
                 self.options.backoff_s,
                 self.options.backoff_cap_s,
             )
+            if getattr(state, "state", None) == STATE_FAILED:
+                outcome_state = STATE_FAILED
         finally:
             self.ledger.release_lease(entry.id, self.worker_id)
+            _lease_counter("released")
+        REGISTRY.counter(
+            "repro_queue_units_total",
+            "Queue unit executions by outcome", ("outcome",)
+        ).labels(outcome=outcome_state).inc()
+        events.emit(
+            "queue.unit",
+            run_id=self.ledger.run_id,
+            unit_id=entry.id,
+            worker=self.worker_id,
+            attempt=attempt,
+            outcome=outcome_state,
+        )
         self.executed += 1
 
     def run(self) -> bool:
@@ -330,7 +388,13 @@ def _work_entry(
     cache_root: str, run_id: str, options: Dict[str, Any], worker_id: str
 ) -> None:
     """Top-level process target (must be picklable for multiprocessing)."""
-    ledger = RunLedger.open(ArtifactCache(cache_root), run_id)
+    cache = ArtifactCache(cache_root)
+    # A spawned worker process starts without a telemetry sink; give it one
+    # under the shared cache root so its spans and lease events are durable
+    # (segments are per-pid, so concurrent workers never interleave).
+    if trace.telemetry_enabled() and events.configured_sink() is None:
+        events.configure_sink(cache.root / "telemetry")
+    ledger = RunLedger.open(cache, run_id)
     QueueWorker(ledger, worker_id, WorkerOptions.from_dict(options)).run()
 
 

@@ -82,7 +82,7 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from .api import PROFILES as _PROFILES
 from .eval import (
@@ -165,6 +165,13 @@ def _add_common_options(parser: argparse.ArgumentParser, suppress: bool) -> None
         action="store_true",
         default=argparse.SUPPRESS if suppress else False,
         help="disable the on-disk artefact cache for this invocation",
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        default=argparse.SUPPRESS if suppress else False,
+        help="disable spans, metrics export and the durable event log for "
+        "this invocation (same as REPRO_TELEMETRY=0)",
     )
 
 
@@ -306,6 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="shared artefact-cache root the run ledger lives under "
             "(default: $REPRO_CACHE_DIR or ~/.cache/repro); every worker of "
             "a run must point at the same directory",
+        )
+        sub.add_argument(
+            "--no-telemetry",
+            action="store_true",
+            help="disable spans, metrics export and the durable event log "
+            "(same as REPRO_TELEMETRY=0)",
         )
 
     queue_submit = queue_actions.add_parser(
@@ -575,6 +588,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="asyncio tier: how often to re-check the store manifest for "
         "promotions (0 = stat on every request)",
     )
+    serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable spans, metrics export and the durable event log "
+        "(same as REPRO_TELEMETRY=0)",
+    )
+
+    obs = subparsers.add_parser(
+        "obs",
+        help="inspect recorded telemetry: event-log summary, live tail, "
+        "and span trees",
+    )
+    obs_actions = obs.add_subparsers(dest="obs_action", required=True)
+
+    def _obs_dir_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--cache-dir",
+            type=Path,
+            default=None,
+            help="artefact-cache root whose telemetry/ directory to read "
+            "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+        sub.add_argument(
+            "--telemetry-dir",
+            type=Path,
+            default=None,
+            help="read this event-log directory directly instead of "
+            "<cache root>/telemetry",
+        )
+
+    obs_summary = obs_actions.add_parser(
+        "summary",
+        help="aggregate the durable event log: event kinds, span counts, "
+        "durations and error rates",
+    )
+    obs_summary.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    _obs_dir_flags(obs_summary)
+
+    obs_tail = obs_actions.add_parser(
+        "tail", help="print event-log records as JSON lines"
+    )
+    obs_tail.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="keep the log open and stream new records until interrupted",
+    )
+    obs_tail.add_argument(
+        "--kind", default=None, help="only show events of this kind"
+    )
+    obs_tail.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="stop after this many records (applied after --kind filtering)",
+    )
+    _obs_dir_flags(obs_tail)
+
+    obs_spans = obs_actions.add_parser(
+        "spans", help="reconstruct span trees from the durable event log"
+    )
+    obs_spans.add_argument(
+        "--run-id",
+        default=None,
+        help="only traces that touch this queue run id",
+    )
+    obs_spans.add_argument(
+        "--json", action="store_true", help="emit the span forest as JSON"
+    )
+    _obs_dir_flags(obs_spans)
 
     return parser
 
@@ -593,6 +678,38 @@ def _engine_options(args: argparse.Namespace) -> Dict[str, object]:
         cache = cache_dir if cache_dir is not None else True
     executor = getattr(args, "executor", "process")
     return {"jobs": jobs, "cache": cache, "executor": executor}
+
+
+def _setup_telemetry(args: argparse.Namespace) -> None:
+    """Apply ``--no-telemetry`` and install the durable event sink.
+
+    Work-performing commands (run/artefact/queue/serve) get their spans and
+    events persisted under ``<cache root>/telemetry``; read-only commands
+    leave the sink unconfigured so they never write to the cache.
+    """
+    from .obs import events, trace
+
+    if getattr(args, "no_telemetry", False):
+        trace.set_enabled(False)
+        return
+    if not trace.telemetry_enabled():
+        return
+    from .eval.engine import default_cache_dir
+
+    cache_dir = getattr(args, "cache_dir", None)
+    root = Path(cache_dir).expanduser() if cache_dir is not None else default_cache_dir()
+    events.configure_sink(root / "telemetry")
+
+
+def _telemetry_dir(args: argparse.Namespace) -> Path:
+    """Event-log directory for ``repro obs`` (explicit dir beats cache root)."""
+    from .obs import events
+
+    if getattr(args, "telemetry_dir", None) is not None:
+        return Path(args.telemetry_dir).expanduser()
+    if getattr(args, "cache_dir", None) is not None:
+        return Path(args.cache_dir).expanduser() / "telemetry"
+    return events.default_telemetry_dir()
 
 
 def run_artefact(
@@ -1075,10 +1192,156 @@ def _cmd_queue(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown queue action '{action}'")  # pragma: no cover
 
 
+def _span_forest(spans: list) -> list:
+    """Nest span records (``children`` lists) by parent linkage.
+
+    Spans whose parent is missing from the log (e.g. the parent process was
+    killed before its span finished) surface as roots rather than vanishing.
+    """
+    by_id = {}
+    for span in spans:
+        node = dict(span)
+        node["children"] = []
+        by_id[node["span_id"]] = node
+    roots = []
+    for node in by_id.values():
+        parent = by_id.get(node.get("parent_id"))
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+
+    def order(nodes: list) -> None:
+        nodes.sort(key=lambda n: (n.get("start_unix", 0.0), n["span_id"]))
+        for child in nodes:
+            order(child["children"])
+
+    order(roots)
+    return roots
+
+
+def _render_span_tree(node: dict, depth: int = 0) -> Iterator[str]:
+    attrs = node.get("attrs", {})
+    detail = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+    duration_ms = 1000.0 * float(node.get("duration_s") or 0.0)
+    status = node.get("status", "ok")
+    line = f"{'  ' * depth}{node['name']}  {duration_ms:.2f}ms  [{status}]"
+    yield line + (f"  {detail}" if detail else "")
+    for child in node["children"]:
+        yield from _render_span_tree(child, depth + 1)
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import events
+
+    root = _telemetry_dir(args)
+    action = args.obs_action
+    if action == "tail":
+        shown = 0
+        try:
+            for record in events.tail(root, follow=args.follow):
+                if args.kind is not None and record.get("kind") != args.kind:
+                    continue
+                print(json.dumps(record, sort_keys=True), flush=args.follow)
+                shown += 1
+                if args.limit is not None and shown >= args.limit:
+                    break
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        return 0
+    if action == "summary":
+        kinds: Dict[str, int] = {}
+        spans: Dict[str, Dict[str, float]] = {}
+        total = 0
+        for record in events.read_events(root):
+            total += 1
+            kind = str(record.get("kind", "?"))
+            kinds[kind] = kinds.get(kind, 0) + 1
+            if kind != "span":
+                continue
+            stats = spans.setdefault(
+                str(record.get("name", "?")),
+                {"count": 0, "errors": 0, "total_s": 0.0, "max_s": 0.0},
+            )
+            stats["count"] += 1
+            if record.get("status") != "ok":
+                stats["errors"] += 1
+            duration = float(record.get("duration_s") or 0.0)
+            stats["total_s"] += duration
+            stats["max_s"] = max(stats["max_s"], duration)
+        document = {
+            "telemetry_dir": str(root),
+            "segments": len(events.segment_paths(root)),
+            "events": total,
+            "kinds": dict(sorted(kinds.items())),
+            "spans": {
+                name: {
+                    "count": int(stats["count"]),
+                    "errors": int(stats["errors"]),
+                    "mean_ms": round(1000.0 * stats["total_s"] / stats["count"], 3),
+                    "max_ms": round(1000.0 * stats["max_s"], 3),
+                }
+                for name, stats in sorted(spans.items())
+            },
+        }
+        if args.json:
+            print(json.dumps(document, indent=2))
+            return 0
+        print(f"telemetry dir : {root}")
+        print(f"segments      : {document['segments']}")
+        print(f"events        : {total}")
+        if kinds:
+            rows = [[kind, count] for kind, count in sorted(kinds.items())]
+            print(ascii_table(rows, headers=["kind", "events"]))
+        if document["spans"]:
+            rows = [
+                [name, s["count"], s["errors"], s["mean_ms"], s["max_ms"]]
+                for name, s in document["spans"].items()
+            ]
+            print(
+                ascii_table(
+                    rows, headers=["span", "count", "errors", "mean ms", "max ms"]
+                )
+            )
+        return 0
+    if action == "spans":
+        records = list(events.read_events(root, kind="span"))
+        if args.run_id is not None:
+            matching_traces = {
+                record.get("trace_id")
+                for record in records
+                if record.get("attrs", {}).get("run_id") == args.run_id
+            }
+            records = [
+                record
+                for record in records
+                if record.get("trace_id") in matching_traces
+            ]
+        forest = _span_forest(records)
+        if args.json:
+            print(json.dumps(forest, indent=2))
+            return 0
+        if not forest:
+            print(f"no spans under {root}")
+            return 0
+        for tree_root in forest:
+            for line in _render_span_tree(tree_root):
+                print(line)
+        return 0
+    raise SystemExit(f"unknown obs action '{action}'")  # pragma: no cover
+
+
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     command = getattr(args, "command", None)
+    if command in (None, "artefact", "run", "queue", "serve"):
+        _setup_telemetry(args)
+    if command == "obs":
+        try:
+            return _cmd_obs(args)
+        except (KeyError, ValueError, OSError) as error:
+            raise SystemExit(f"error: {error}")
     if command == "list-models":
         return _cmd_list_models(args)
     if command == "list-attacks":

@@ -32,14 +32,17 @@ import hashlib
 import struct
 import threading
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-# Only repro.registry at module level: this module is imported lazily by the
-# ROUTER_POLICIES registry, and importing anything from repro.serve here would
-# re-enter the serve package while it is still initialising.
+from ...obs.metrics import MetricsRegistry
+
+# Only repro.registry (and the dependency-free obs.metrics) at module level:
+# this module is imported lazily by the ROUTER_POLICIES registry, and
+# importing anything from repro.serve here would re-enter the serve package
+# while it is still initialising.
 from ...registry import ROUTER_POLICIES, make_router_policy, register_router_policy
 
 __all__ = [
@@ -222,30 +225,79 @@ class SplitPolicy:
 # ----------------------------------------------------------------------
 # Primary-vs-shadow comparison stats
 # ----------------------------------------------------------------------
-@dataclass
 class _ArmStats:
-    """One routing arm's bounded outcome window (primary or shadow)."""
+    """One routing arm's bounded outcome window (primary or shadow).
 
-    requests: int = 0
-    fingerprints: int = 0
-    errors: int = 0
-    flagged: int = 0
-    latencies: deque = field(default_factory=lambda: deque(maxlen=1024))
+    Counters are views over ``repro_shadow_arm_*`` registry series labeled
+    ``(endpoint, arm)``; the latency window stays local for exact p50/p99.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        endpoint: str,
+        arm: str,
+        window: int = 1024,
+    ) -> None:
+        label = {"endpoint": endpoint, "arm": arm}
+        labelnames = ("endpoint", "arm")
+        self._requests = registry.counter(
+            "repro_shadow_arm_requests_total",
+            "Requests scored per routing arm", labelnames,
+        ).labels(**label)
+        self._fingerprints = registry.counter(
+            "repro_shadow_arm_fingerprints_total",
+            "Fingerprints scored per routing arm", labelnames,
+        ).labels(**label)
+        self._errors = registry.counter(
+            "repro_shadow_arm_errors_total",
+            "Errors raised per routing arm", labelnames,
+        ).labels(**label)
+        self._flagged = registry.counter(
+            "repro_shadow_arm_flagged_total",
+            "Guard-flagged fingerprints per routing arm", labelnames,
+        ).labels(**label)
+        self._latency = registry.histogram(
+            "repro_shadow_arm_latency_seconds",
+            "Scoring latency per routing arm", labelnames,
+        ).labels(**label)
+        self.latencies: deque = deque(maxlen=window)
+
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def fingerprints(self) -> int:
+        return int(self._fingerprints.value)
+
+    @property
+    def errors(self) -> int:
+        return int(self._errors.value)
+
+    @property
+    def flagged(self) -> int:
+        return int(self._flagged.value)
 
     def record(self, seconds: float, fingerprints: int, flagged: int) -> None:
-        self.requests += 1
-        self.fingerprints += int(fingerprints)
-        self.flagged += int(flagged)
+        self._requests.inc()
+        self._fingerprints.inc(int(fingerprints))
+        self._flagged.inc(int(flagged))
+        self._latency.observe(float(seconds))
         self.latencies.append(float(seconds))
+
+    def record_error(self) -> None:
+        self._errors.inc()
 
     def as_dict(self) -> Dict[str, Any]:
         from ..gateway import percentile
 
         window = list(self.latencies)
-        rate = self.flagged / self.fingerprints if self.fingerprints else None
+        fingerprints = self.fingerprints
+        rate = self.flagged / fingerprints if fingerprints else None
         return {
             "requests": self.requests,
-            "fingerprints": self.fingerprints,
+            "fingerprints": fingerprints,
             "errors": self.errors,
             "flagged": self.flagged,
             "flagged_rate": round(rate, 6) if rate is not None else None,
@@ -270,26 +322,75 @@ class ShadowStats:
     shadow arm records from background tasks/threads.
     """
 
-    def __init__(self, endpoint: str, spec: RouteSpec, window: int = 1024) -> None:
+    def __init__(
+        self,
+        endpoint: str,
+        spec: RouteSpec,
+        window: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.endpoint = endpoint
         self.spec = spec
-        self.requests = 0
-        self.mirrored = 0
-        self.shadow_served = 0
-        self.shadow_errors = 0
-        self.label_mismatches = 0
-        self.compared_fingerprints = 0
-        self.primary = _ArmStats(latencies=deque(maxlen=window))
-        self.shadow = _ArmStats(latencies=deque(maxlen=window))
+        self.registry = registry if registry is not None else MetricsRegistry()
+        label = {"endpoint": endpoint}
+
+        def _counter(name: str, help: str):
+            return self.registry.counter(name, help, ("endpoint",)).labels(**label)
+
+        self._requests = _counter(
+            "repro_shadow_requests_total", "Requests seen by a shadowed endpoint"
+        )
+        self._mirrored = _counter(
+            "repro_shadow_mirrored_total", "Requests mirrored onto the shadow arm"
+        )
+        self._shadow_served = _counter(
+            "repro_shadow_served_total", "Requests served by the shadow arm"
+        )
+        self._shadow_errors = _counter(
+            "repro_shadow_errors_total", "Errors raised by the shadow arm"
+        )
+        self._label_mismatches = _counter(
+            "repro_shadow_label_mismatches_total",
+            "Fingerprints where primary and shadow predicted different labels",
+        )
+        self._compared = _counter(
+            "repro_shadow_compared_total",
+            "Fingerprints compared between primary and shadow",
+        )
+        self.primary = _ArmStats(self.registry, endpoint, "primary", window=window)
+        self.shadow = _ArmStats(self.registry, endpoint, "shadow", window=window)
         self._lock = threading.Lock()
 
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def mirrored(self) -> int:
+        return int(self._mirrored.value)
+
+    @property
+    def shadow_served(self) -> int:
+        return int(self._shadow_served.value)
+
+    @property
+    def shadow_errors(self) -> int:
+        return int(self._shadow_errors.value)
+
+    @property
+    def label_mismatches(self) -> int:
+        return int(self._label_mismatches.value)
+
+    @property
+    def compared_fingerprints(self) -> int:
+        return int(self._compared.value)
+
     def record_request(self, decision: RoutingDecision) -> None:
-        with self._lock:
-            self.requests += 1
-            if decision.mirror_shadow:
-                self.mirrored += 1
-            if decision.serve_shadow:
-                self.shadow_served += 1
+        self._requests.inc()
+        if decision.mirror_shadow:
+            self._mirrored.inc()
+        if decision.serve_shadow:
+            self._shadow_served.inc()
 
     def record_arm(
         self, arm: str, seconds: float, fingerprints: int, flagged: int
@@ -300,21 +401,18 @@ class ShadowStats:
 
     def record_shadow_error(self) -> None:
         with self._lock:
-            self.shadow_errors += 1
-            self.shadow.errors += 1
+            self._shadow_errors.inc()
+            self.shadow.record_error()
 
     def record_comparison(self, mismatches: int, fingerprints: int) -> None:
-        with self._lock:
-            self.label_mismatches += int(mismatches)
-            self.compared_fingerprints += int(fingerprints)
+        self._label_mismatches.inc(int(mismatches))
+        self._compared.inc(int(fingerprints))
 
     def as_dict(self) -> Dict[str, Any]:
         with self._lock:
-            mismatch_rate = (
-                self.label_mismatches / self.compared_fingerprints
-                if self.compared_fingerprints
-                else None
-            )
+            compared = self.compared_fingerprints
+            mismatches = self.label_mismatches
+            mismatch_rate = mismatches / compared if compared else None
             return {
                 "endpoint": self.endpoint,
                 "ref": self.spec.ref,
@@ -326,8 +424,8 @@ class ShadowStats:
                 "mirrored": self.mirrored,
                 "shadow_served": self.shadow_served,
                 "shadow_errors": self.shadow_errors,
-                "label_mismatches": self.label_mismatches,
-                "compared": self.compared_fingerprints,
+                "label_mismatches": mismatches,
+                "compared": compared,
                 "mismatch_rate": (
                     round(mismatch_rate, 6) if mismatch_rate is not None else None
                 ),

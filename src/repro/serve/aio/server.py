@@ -28,15 +28,18 @@ point behind ``repro serve --aio`` (multi-process is
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import threading
 import time
+import urllib.parse
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Dict, Mapping, Optional, Set, Tuple, Union
 
 import numpy as np
 
 from ...defenses.base import GuardRejectedError
+from ...obs import prom, trace
 from ..http import ServingApp
 from ..store import ModelStore, StoreError
 from . import protocol
@@ -77,7 +80,7 @@ class _HttpError(Exception):
 
 
 class _Request:
-    __slots__ = ("method", "path", "headers", "body", "keep_alive")
+    __slots__ = ("method", "path", "query", "headers", "body", "keep_alive")
 
     def __init__(
         self,
@@ -86,9 +89,11 @@ class _Request:
         headers: Dict[str, str],
         body: bytes,
         keep_alive: bool,
+        query: str = "",
     ) -> None:
         self.method = method
         self.path = path
+        self.query = query
         self.headers = headers
         self.body = body
         self.keep_alive = keep_alive
@@ -146,7 +151,9 @@ class AsyncServingApp:
             stats_window=stats_window,
         )
         self.shadow_stats: Dict[str, ShadowStats] = {
-            endpoint: ShadowStats(endpoint, spec, window=stats_window)
+            endpoint: ShadowStats(
+                endpoint, spec, window=stats_window, registry=self.app.registry
+            )
             for endpoint, spec in self.route_specs.items()
             if spec.has_shadow
         }
@@ -161,21 +168,29 @@ class AsyncServingApp:
     def gateway(self):
         return self.app.gateway
 
+    @property
+    def registry(self):
+        return self.app.registry
+
     # -- inference ------------------------------------------------------
     async def _score(self, endpoint: str, features: np.ndarray):
         """One batch through the sync stack without blocking the event loop."""
         loop = asyncio.get_running_loop()
+        # Executor threads start from an empty contextvars context; running
+        # the call inside a copy of *this* task's context keeps the live
+        # request span parented through the thread hop.
+        context = contextvars.copy_context()
         if self.app.batching:
             # First-load store I/O (and the 404 for unknown names) happens on
             # the executor; the batcher future then bridges straight back.
             await loop.run_in_executor(
-                self._executor, self.app.gateway.service_for, endpoint
+                self._executor, context.run, self.app.gateway.service_for, endpoint
             )
             return await asyncio.wrap_future(
                 self.app.batcher_for(endpoint).submit(features)
             )
         return await loop.run_in_executor(
-            self._executor, self.app.gateway.localize, endpoint, features
+            self._executor, context.run, self.app.gateway.localize, endpoint, features
         )
 
     async def localize_document_async(
@@ -343,6 +358,9 @@ class AioServer:
         matches request order (the HTTP/1.1 pipelining contract).
         """
         self.app.connections += 1
+        conn = self.app.app.connection_metrics("aio")
+        conn.connection_opened()
+        requests_on_connection = 0
         queue: "asyncio.Queue[Optional[Future]]" = asyncio.Queue(maxsize=64)
         drain = asyncio.get_running_loop().create_task(self._write_loop(queue, writer))
         # Server shutdown cancels open keep-alive handlers; swallow that
@@ -360,6 +378,8 @@ class AioServer:
                     break
                 if request is None:
                     break
+                requests_on_connection += 1
+                conn.request_on_connection(requests_on_connection)
                 task = asyncio.get_running_loop().create_task(self._respond(request))
                 await queue.put(task)
                 if not request.keep_alive:
@@ -367,6 +387,7 @@ class AioServer:
         except asyncio.CancelledError:
             cancelled = True
         finally:
+            conn.connection_closed()
             if cancelled:
                 drain.cancel()
             else:
@@ -404,52 +425,101 @@ class AioServer:
 
     async def _respond(self, request: _Request) -> bytes:
         keep = request.keep_alive
-        try:
-            if request.method == "GET":
-                return await self._respond_get(request)
-            if request.method != "POST":
-                return _error_response(405, f"method {request.method} not allowed", keep)
-            if request.path != "/v1/localize":
-                return _error_response(404, f"unknown path {request.path!r}", keep)
-            content_type = protocol.normalize_content_type(
-                request.headers.get("content-type")
-            )
-            payload = protocol.decode_body(request.body, content_type)
-            document = await self.app.localize_document_async(payload)
-            return _response(200, protocol.encode_body(document, content_type), content_type, keep)
-        except StoreError as error:
-            return _error_response(404, str(error), keep)
-        except GuardRejectedError as error:
-            body = json.dumps(
-                {
-                    "error": str(error),
-                    "defense": error.defense,
-                    "flagged": list(error.flagged_indices),
-                }
-            ).encode("utf-8")
-            return _response(403, body, protocol.CONTENT_JSON, keep)
-        except protocol.UnsupportedContentType as error:
-            return _error_response(415, str(error), keep)
-        except (protocol.ProtocolError, TypeError, ValueError) as error:
-            return _error_response(400, str(error), keep)
-        except Exception as error:  # pragma: no cover - defensive 500
-            return _error_response(500, f"{type(error).__name__}: {error}", keep)
+        serving = self.app.app
+        # Until the body is decoded, the best endpoint label is the path; a
+        # localize request re-labels to the model it asked for (resolvable or
+        # not — satellite accounting must show unknown endpoints' 404s).
+        endpoint = request.path
+        counted = False
+        status = 200
+        with trace.span(
+            "http.request", transport="aio", method=request.method, path=request.path
+        ) as sp:
+            try:
+                if request.method == "GET":
+                    serving.record_http_request("aio", endpoint)
+                    counted = True
+                    status, data = await self._respond_get(request)
+                    return data
+                if request.method != "POST":
+                    status = 405
+                    return _error_response(
+                        405, f"method {request.method} not allowed", keep
+                    )
+                if request.path != "/v1/localize":
+                    status = 404
+                    return _error_response(404, f"unknown path {request.path!r}", keep)
+                content_type = protocol.normalize_content_type(
+                    request.headers.get("content-type")
+                )
+                payload = protocol.decode_body(request.body, content_type)
+                endpoint = serving.requested_endpoint(payload)
+                serving.record_http_request("aio", endpoint)
+                counted = True
+                sp.set(endpoint=endpoint, content_type=content_type)
+                document = await self.app.localize_document_async(payload)
+                sp.set(
+                    served_ref=document.get("ref"),
+                    batch=len(document.get("labels", ())),
+                )
+                return _response(
+                    200, protocol.encode_body(document, content_type), content_type, keep
+                )
+            except StoreError as error:
+                status = 404
+                return _error_response(404, str(error), keep)
+            except GuardRejectedError as error:
+                status = 403
+                body = json.dumps(
+                    {
+                        "error": str(error),
+                        "defense": error.defense,
+                        "flagged": list(error.flagged_indices),
+                    }
+                ).encode("utf-8")
+                return _response(403, body, protocol.CONTENT_JSON, keep)
+            except protocol.UnsupportedContentType as error:
+                status = 415
+                return _error_response(415, str(error), keep)
+            except (protocol.ProtocolError, TypeError, ValueError) as error:
+                status = 400
+                return _error_response(400, str(error), keep)
+            except Exception as error:  # pragma: no cover - defensive 500
+                status = 500
+                return _error_response(500, f"{type(error).__name__}: {error}", keep)
+            finally:
+                if not counted:
+                    serving.record_http_request("aio", endpoint)
+                serving.record_http_response("aio", endpoint, status)
+                sp.set(status=status)
 
-    async def _respond_get(self, request: _Request) -> bytes:
+    async def _respond_get(self, request: _Request) -> Tuple[int, bytes]:
         loop = asyncio.get_running_loop()
         app = self.app
         if request.path == "/healthz":
             builder = app.health_document
         elif request.path == "/metrics":
+            query = urllib.parse.parse_qs(request.query)
+            if query.get("format", [""])[-1] == "prometheus":
+                # Rendering walks every registry series under their locks —
+                # cheap, but off the loop like the JSON document builders.
+                text = await loop.run_in_executor(
+                    app._executor, app.app.prometheus_text
+                )
+                return 200, _response(
+                    200, text.encode("utf-8"), prom.CONTENT_TYPE_PROM, request.keep_alive
+                )
             builder = app.metrics_document
         elif request.path == "/v1/models":
             builder = app.models_document
         else:
-            return _error_response(404, f"unknown path {request.path!r}", request.keep_alive)
+            return 404, _error_response(
+                404, f"unknown path {request.path!r}", request.keep_alive
+            )
         # Document builders read store manifests (file I/O) — off the loop.
         document = await loop.run_in_executor(app._executor, builder)
         body = json.dumps(document).encode("utf-8")
-        return _response(200, body, protocol.CONTENT_JSON, request.keep_alive)
+        return 200, _response(200, body, protocol.CONTENT_JSON, request.keep_alive)
 
 
 # ----------------------------------------------------------------------
@@ -492,7 +562,8 @@ async def _read_request(reader: asyncio.StreamReader) -> Optional[_Request]:
         version == "HTTP/1.1"
         and headers.get("connection", "keep-alive").lower() != "close"
     )
-    return _Request(method, target.split("?", 1)[0], headers, body, keep_alive)
+    path, _, query = target.partition("?")
+    return _Request(method, path, headers, body, keep_alive, query=query)
 
 
 def _response(status: int, body: bytes, content_type: str, keep_alive: bool) -> bytes:

@@ -32,15 +32,22 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import trace
+from ..obs.metrics import MetricsRegistry
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..api import LocalizationResult
+    from ..obs.trace import Span
 
 __all__ = ["BatchStats", "MicroBatcher"]
+
+#: Flush-size histogram boundaries (fingerprints per batched call).
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
 @dataclass
@@ -48,34 +55,79 @@ class _Pending:
     features: np.ndarray
     future: Future
     enqueued: float
+    #: Span live in the submitting thread, re-attached by the flusher so the
+    #: batched flush nests under the request that opened the batch.
+    trace_parent: "Optional[Span]" = None
 
 
-@dataclass
 class BatchStats:
-    """Flush counters of one :class:`MicroBatcher`."""
+    """Flush counters of one :class:`MicroBatcher`.
 
-    requests: int = 0
-    fingerprints: int = 0
-    batches: int = 0
-    max_batch_size: int = 0
-    #: Bounded window of recent flush sizes (a long-lived server must not
-    #: accumulate one entry per batch forever).
-    batch_sizes: deque = field(default_factory=lambda: deque(maxlen=1024))
+    A thin view over ``repro_batch_*`` registry series (labeled by
+    endpoint), keeping ``as_dict()`` byte-compatible with the pre-registry
+    dataclass.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        endpoint: str = "",
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.endpoint = endpoint or "_unnamed"
+        label = {"endpoint": self.endpoint}
+        self._requests = self.registry.counter(
+            "repro_batch_requests_total",
+            "Requests submitted to the micro-batcher", ("endpoint",),
+        ).labels(**label)
+        self._fingerprints = self.registry.counter(
+            "repro_batch_fingerprints_total",
+            "Fingerprints flushed through batched calls", ("endpoint",),
+        ).labels(**label)
+        self._batches = self.registry.counter(
+            "repro_batches_total", "Batched flush calls", ("endpoint",),
+        ).labels(**label)
+        self._sizes = self.registry.histogram(
+            "repro_batch_size",
+            "Fingerprints per flushed batch", ("endpoint",),
+            buckets=_BATCH_SIZE_BUCKETS,
+        ).labels(**label)
+        self.max_batch_size = 0
+        #: Bounded window of recent flush sizes (a long-lived server must not
+        #: accumulate one entry per batch forever).
+        self.batch_sizes: deque = deque(maxlen=1024)
+
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def fingerprints(self) -> int:
+        return int(self._fingerprints.value)
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    def record_request(self) -> None:
+        self._requests.inc()
 
     def record_batch(self, rows: int) -> None:
-        self.batches += 1
-        self.fingerprints += int(rows)
+        self._batches.inc()
+        self._fingerprints.inc(int(rows))
+        self._sizes.observe(int(rows))
         self.batch_sizes.append(int(rows))
         self.max_batch_size = max(self.max_batch_size, int(rows))
 
     def as_dict(self) -> Dict[str, Any]:
-        mean = self.fingerprints / self.batches if self.batches else None
+        batches = self.batches
+        mean = self.fingerprints / batches if batches else None
         return {
             "requests": self.requests,
             "fingerprints": self.fingerprints,
-            "batches": self.batches,
+            "batches": batches,
             "mean_batch_size": round(mean, 3) if mean is not None else None,
-            "max_batch_size": self.max_batch_size if self.batches else None,
+            "max_batch_size": self.max_batch_size if batches else None,
         }
 
 
@@ -104,6 +156,8 @@ class MicroBatcher:
         max_batch: int = 64,
         max_wait_ms: float = 5.0,
         batch_fn: Optional[Callable[[np.ndarray], "LocalizationResult"]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        endpoint: str = "",
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -118,7 +172,11 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_ms) / 1000.0
         self._poll_s = min(1e-3, max(5e-5, self.max_wait_s / 10.0))
-        self.stats = BatchStats()
+        self.stats = BatchStats(registry=registry, endpoint=endpoint)
+        self._queue_depth = self.stats.registry.gauge(
+            "repro_batch_queue_depth",
+            "Fingerprints currently queued for flushing", ("endpoint",),
+        ).labels(endpoint=self.stats.endpoint)
         self._queue: List[_Pending] = []
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
@@ -138,8 +196,11 @@ class MicroBatcher:
         with self._lock:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")
-            self._queue.append(_Pending(array, future, time.perf_counter()))
-            self.stats.requests += 1
+            self._queue.append(
+                _Pending(array, future, time.perf_counter(), trace.current())
+            )
+            self.stats.record_request()
+            self._queue_depth.set(self._queued_rows())
             # Wake the flusher only on transitions it cares about (queue was
             # empty, or the batch just filled); intermediate arrivals are
             # picked up by its poll loop.  Under heavy concurrency this
@@ -183,7 +244,18 @@ class MicroBatcher:
                     item = self._queue.pop(0)
                     batch.append(item)
                     rows += item.features.shape[0]
-            self._flush(batch)
+                self._queue_depth.set(self._queued_rows())
+            # The flusher thread has no ambient trace context of its own;
+            # re-enter the context of the request that opened the batch so
+            # the flush span nests under it.
+            with trace.attach(batch[0].trace_parent):
+                with trace.span(
+                    "serve.batch.flush",
+                    endpoint=self.stats.endpoint,
+                    requests=len(batch),
+                    batch_size=rows,
+                ):
+                    self._flush(batch)
 
     def _flush(self, batch: List[_Pending]) -> None:
         try:

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
 
 from ..defenses.base import GuardRejectedError
+from ..obs.metrics import MetricsRegistry
 from .store import ModelStore
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -55,60 +56,106 @@ class EndpointStats:
     """Rolling request counters + latency stats of one gateway endpoint.
 
     Thread-safe: concurrent server threads record into the same endpoint.
+
+    The counters are a thin view over :class:`~repro.obs.metrics` registry
+    series (``repro_endpoint_*`` labeled by endpoint), so the same numbers
+    back both this class's byte-compatible ``as_dict()`` JSON and the
+    Prometheus exposition.  The latency *window* (exact nearest-rank
+    p50/p99 over recent samples) stays local — fixed histogram buckets
+    cannot reproduce it.
     """
 
-    def __init__(self, window: int = 1024) -> None:
-        self.requests = 0
-        self.fingerprints = 0
-        self.errors = 0
-        #: Fingerprints the endpoint's inference guard flagged as adversarial.
-        self.guard_flagged = 0
-        #: Requests an enforcing guard rejected (HTTP 403).
-        self.guard_rejected = 0
-        self.total_seconds = 0.0
+    def __init__(
+        self,
+        window: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
+        endpoint: str = "",
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.endpoint = endpoint or "_unnamed"
+        label = {"endpoint": self.endpoint}
+        self._requests = self.registry.counter(
+            "repro_endpoint_requests_total",
+            "Requests served per endpoint", ("endpoint",),
+        ).labels(**label)
+        self._fingerprints = self.registry.counter(
+            "repro_endpoint_fingerprints_total",
+            "Fingerprints scored per endpoint", ("endpoint",),
+        ).labels(**label)
+        self._errors = self.registry.counter(
+            "repro_endpoint_errors_total",
+            "Failed requests per endpoint", ("endpoint",),
+        ).labels(**label)
+        self._guard_flagged = self.registry.counter(
+            "repro_endpoint_guard_flagged_total",
+            "Fingerprints the inference guard flagged as adversarial",
+            ("endpoint",),
+        ).labels(**label)
+        self._guard_rejected = self.registry.counter(
+            "repro_endpoint_guard_rejected_total",
+            "Requests an enforcing guard rejected (HTTP 403)", ("endpoint",),
+        ).labels(**label)
+        self._latency = self.registry.histogram(
+            "repro_endpoint_latency_seconds",
+            "Request latency per endpoint", ("endpoint",),
+        ).labels(**label)
         self.last_request_unix: Optional[float] = None
         #: Bounded window of recent request latencies (seconds) for p50/p99.
         self.latencies: deque = deque(maxlen=window)
         self._lock = threading.Lock()
 
+    # Counter views (ints, exactly as the pre-registry fields were).
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def fingerprints(self) -> int:
+        return int(self._fingerprints.value)
+
+    @property
+    def errors(self) -> int:
+        return int(self._errors.value)
+
+    @property
+    def guard_flagged(self) -> int:
+        return int(self._guard_flagged.value)
+
+    @property
+    def guard_rejected(self) -> int:
+        return int(self._guard_rejected.value)
+
+    @property
+    def total_seconds(self) -> float:
+        return self._latency.sum
+
     def record(self, seconds: float, fingerprints: int) -> None:
+        self._requests.inc()
+        self._fingerprints.inc(int(fingerprints))
+        self._latency.observe(seconds)
         with self._lock:
-            self.requests += 1
-            self.fingerprints += int(fingerprints)
-            self.total_seconds += seconds
             self.latencies.append(seconds)
             self.last_request_unix = time.time()
 
     def record_error(self) -> None:
-        with self._lock:
-            self.errors += 1
+        self._errors.inc()
 
     def record_guard(self, flagged: int, rejected: bool = False) -> None:
-        with self._lock:
-            self.guard_flagged += int(flagged)
-            if rejected:
-                self.guard_rejected += 1
+        self._guard_flagged.inc(int(flagged))
+        if rejected:
+            self._guard_rejected.inc()
 
     def as_dict(self) -> Dict[str, Any]:
         with self._lock:
             window = list(self.latencies)
-            mean_ms = (
-                self.total_seconds / self.requests * 1000.0 if self.requests else None
-            )
-            snapshot = (
-                self.requests,
-                self.fingerprints,
-                self.errors,
-                self.guard_flagged,
-                self.guard_rejected,
-                self.last_request_unix,
-            )
-        requests, fingerprints, errors, flagged, rejected, last_request_unix = snapshot
+            last_request_unix = self.last_request_unix
+        requests = self.requests
+        mean_ms = self.total_seconds / requests * 1000.0 if requests else None
         return {
             "requests": requests,
-            "fingerprints": fingerprints,
-            "errors": errors,
-            "guard": {"flagged": flagged, "rejected": rejected},
+            "fingerprints": self.fingerprints,
+            "errors": self.errors,
+            "guard": {"flagged": self.guard_flagged, "rejected": self.guard_rejected},
             "latency_ms": {
                 "mean": round(mean_ms, 4) if mean_ms is not None else None,
                 "p50": _ms(percentile(window, 50.0)),
@@ -160,6 +207,11 @@ class Gateway:
         bound the poll rate on very hot endpoints.
     stats_window:
         Per-endpoint latency sample window (bounds /metrics memory).
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` endpoint and
+        lifecycle counters live in.  Defaults to a private registry so
+        independent gateways never share counts; the serving app passes its
+        own so gateway, batchers and routes report into one store.
     """
 
     def __init__(
@@ -169,6 +221,7 @@ class Gateway:
         routes: Optional[Mapping[str, str]] = None,
         watch_interval_s: float = 0.0,
         stats_window: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_loaded < 1:
             raise ValueError("max_loaded must be >= 1")
@@ -178,6 +231,7 @@ class Gateway:
         self.max_loaded = int(max_loaded)
         self.watch_interval_s = float(watch_interval_s)
         self.stats_window = int(stats_window)
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._routes: Dict[str, str] = dict(routes or {})
         #: Pinned immutable version behind each requested ref.
         self._pins: Dict[str, _Pin] = {}
@@ -185,10 +239,17 @@ class Gateway:
         self._loaded: "OrderedDict[str, LocalizationService]" = OrderedDict()
         self._stats: Dict[str, EndpointStats] = {}
         self._lock = threading.Lock()
-        self.loads = 0
-        self.evictions = 0
+        self._loads = self.registry.counter(
+            "repro_gateway_loads_total", "Services loaded into the LRU"
+        ).labels()
+        self._evictions = self.registry.counter(
+            "repro_gateway_evictions_total", "Services evicted from the LRU"
+        ).labels()
         #: Times a watched mutable ref re-resolved to a different version.
-        self.promotions = 0
+        self._promotions = self.registry.counter(
+            "repro_gateway_promotions_total",
+            "Watched refs that re-resolved to a new version",
+        ).labels()
 
     # -- routing --------------------------------------------------------
     def add_route(self, endpoint: str, ref: str) -> None:
@@ -248,7 +309,7 @@ class Gateway:
         with self._lock:
             pin = self._pins.get(ref)
             if pin is not None and pin.version_ref != version.ref:
-                self.promotions += 1
+                self._promotions.inc()
             self._pins[ref] = _Pin(
                 version_ref=version.ref,
                 name=name,
@@ -280,10 +341,10 @@ class Gateway:
         with self._lock:
             if ref not in self._loaded:
                 self._loaded[ref] = service
-                self.loads += 1
+                self._loads.inc()
                 while len(self._loaded) > self.max_loaded:
                     self._loaded.popitem(last=False)
-                    self.evictions += 1
+                    self._evictions.inc()
             self._loaded.move_to_end(ref)
             return self._loaded[ref]
 
@@ -292,12 +353,29 @@ class Gateway:
         with self._lock:
             return list(self._loaded)
 
+    # Registry-backed lifecycle counter views (same ints as before).
+    @property
+    def loads(self) -> int:
+        return int(self._loads.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.value)
+
+    @property
+    def promotions(self) -> int:
+        return int(self._promotions.value)
+
     # -- serving --------------------------------------------------------
     def _stats_for(self, endpoint: str) -> EndpointStats:
         with self._lock:
             stats = self._stats.get(endpoint)
             if stats is None:
-                stats = self._stats[endpoint] = EndpointStats(window=self.stats_window)
+                stats = self._stats[endpoint] = EndpointStats(
+                    window=self.stats_window,
+                    registry=self.registry,
+                    endpoint=endpoint,
+                )
             return stats
 
     def localize(

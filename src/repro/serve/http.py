@@ -44,6 +44,9 @@ from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from ..defenses.base import GuardRejectedError
+from ..obs import metrics as obs_metrics
+from ..obs import prom, trace
+from ..obs.metrics import MetricsRegistry
 # The aio subpackage hosts the wire codecs and the shared localize
 # request/response semantics; both front ends route through them so the two
 # servers cannot drift apart in validation or response shape.
@@ -62,7 +65,50 @@ from .store import ModelStore, StoreError
 if TYPE_CHECKING:  # pragma: no cover
     from ..api import LocalizationResult
 
-__all__ = ["ServingApp", "ServiceClient", "create_server", "serve"]
+__all__ = ["ConnectionMetrics", "ServingApp", "ServiceClient", "create_server", "serve"]
+
+
+class ConnectionMetrics:
+    """Connection lifecycle series for one server front end.
+
+    Both front ends (stdlib threads, asyncio loop) report through the same
+    registry families, labeled by transport: connections accepted and
+    closed, currently active, and keep-alive reuses (requests after the
+    first on one connection).
+    """
+
+    def __init__(self, registry: MetricsRegistry, transport: str) -> None:
+        label = {"transport": transport}
+        self.accepted = registry.counter(
+            "repro_http_connections_accepted_total",
+            "Connections accepted by the server", ("transport",),
+        ).labels(**label)
+        self.closed = registry.counter(
+            "repro_http_connections_closed_total",
+            "Connections closed by the server", ("transport",),
+        ).labels(**label)
+        self.active = registry.gauge(
+            "repro_http_connections_active",
+            "Connections currently open", ("transport",),
+        ).labels(**label)
+        self.keepalive_reuses = registry.counter(
+            "repro_http_keepalive_reuses_total",
+            "Requests served on an already-used keep-alive connection",
+            ("transport",),
+        ).labels(**label)
+
+    def connection_opened(self) -> None:
+        self.accepted.inc()
+        self.active.inc()
+
+    def connection_closed(self) -> None:
+        self.closed.inc()
+        self.active.dec()
+
+    def request_on_connection(self, nth: int) -> None:
+        """Record the ``nth`` (1-based) request of one connection."""
+        if nth > 1:
+            self.keepalive_reuses.inc()
 
 
 class ServingApp:
@@ -72,6 +118,12 @@ class ServingApp:
     must never mix endpoints).  ``batching=False`` routes requests straight
     through the gateway — the per-request baseline the serving benchmark
     compares against.
+
+    Every serving metric — gateway, per-endpoint stats, batching, HTTP and
+    connection counters — lives in one :class:`MetricsRegistry` owned by the
+    app (a private one by default, so independent apps never share counts);
+    the Prometheus exposition renders it merged with the process-global
+    registry.
     """
 
     def __init__(
@@ -84,13 +136,16 @@ class ServingApp:
         max_wait_ms: float = 5.0,
         watch_interval_s: float = 0.0,
         stats_window: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.gateway = Gateway(
             store,
             max_loaded=max_loaded,
             routes=routes,
             watch_interval_s=watch_interval_s,
             stats_window=stats_window,
+            registry=self.registry,
         )
         self.batching = bool(batching)
         self.max_batch = int(max_batch)
@@ -98,6 +153,51 @@ class ServingApp:
         self.started_unix = time.time()
         self._batchers: Dict[str, MicroBatcher] = {}
         self._lock = threading.Lock()
+        # HTTP-layer accounting: requests are counted against the endpoint
+        # *they asked for*, before model resolution, so unknown endpoints
+        # show up in per-endpoint error rates (the gateway deliberately never
+        # creates stats entries for names it cannot resolve).  Cardinality is
+        # capped by the registry's per-metric series limit.
+        self._http_requests = self.registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests received, by transport and requested endpoint",
+            ("transport", "endpoint"),
+        )
+        self._http_responses = self.registry.counter(
+            "repro_http_responses_total",
+            "HTTP responses sent, by transport, requested endpoint and status",
+            ("transport", "endpoint", "status"),
+        )
+        self._conn_metrics: Dict[str, ConnectionMetrics] = {}
+
+    # -- http accounting -------------------------------------------------
+    def connection_metrics(self, transport: str) -> ConnectionMetrics:
+        with self._lock:
+            existing = self._conn_metrics.get(transport)
+            if existing is None:
+                existing = ConnectionMetrics(self.registry, transport)
+                self._conn_metrics[transport] = existing
+            return existing
+
+    def record_http_request(self, transport: str, endpoint: str) -> None:
+        """Count one received request (pre-resolution; 404s included)."""
+        self._http_requests.labels(transport=transport, endpoint=endpoint).inc()
+
+    def record_http_response(
+        self, transport: str, endpoint: str, status: int
+    ) -> None:
+        self._http_responses.labels(
+            transport=transport, endpoint=endpoint, status=str(int(status))
+        ).inc()
+
+    @staticmethod
+    def requested_endpoint(payload: Any) -> str:
+        """The endpoint a localize payload asked for, resolvable or not."""
+        if isinstance(payload, Mapping):
+            model = payload.get("model")
+            if isinstance(model, str) and model:
+                return model
+        return "_invalid"
 
     # -- request paths --------------------------------------------------
     def batcher_for(self, endpoint: str) -> MicroBatcher:
@@ -114,6 +214,8 @@ class ServingApp:
                     batch_fn=partial(
                         self.gateway.localize, endpoint, suppress_error_stats=True
                     ),
+                    registry=self.registry,
+                    endpoint=endpoint,
                 )
                 self._batchers[endpoint] = batcher
             return batcher
@@ -179,7 +281,44 @@ class ServingApp:
                 "max_wait_ms": self.max_wait_ms,
                 "endpoints": batching,
             },
+            # Additive (existing keys above are unchanged): the HTTP layer's
+            # own accounting, including endpoints that never resolved.
+            "server": self.server_document(),
         }
+
+    def server_document(self) -> Dict[str, Any]:
+        """Transport-level accounting: connections and raw request counts."""
+        connections: Dict[str, Dict[str, int]] = {}
+        with self._lock:
+            conn_metrics = dict(self._conn_metrics)
+        for transport, conn in conn_metrics.items():
+            connections[transport] = {
+                "accepted": int(conn.accepted.value),
+                "closed": int(conn.closed.value),
+                "active": int(conn.active.value),
+                "keepalive_reuses": int(conn.keepalive_reuses.value),
+            }
+        requests: Dict[str, Dict[str, int]] = {}
+        for labels, series in self._http_requests.collect():
+            (transport, endpoint) = labels["transport"], labels["endpoint"]
+            requests.setdefault(transport, {})[endpoint] = int(series.value)
+        responses: Dict[str, Dict[str, Dict[str, int]]] = {}
+        for labels, series in self._http_responses.collect():
+            by_endpoint = responses.setdefault(labels["transport"], {})
+            by_endpoint.setdefault(labels["endpoint"], {})[labels["status"]] = int(
+                series.value
+            )
+        return {
+            "connections": connections,
+            "requests": requests,
+            "responses": responses,
+        }
+
+    def prometheus_text(self) -> str:
+        """The merged Prometheus exposition (app registry + process globals)."""
+        return prom.render_registries(
+            obs_metrics.registries_for_exposition(self.registry)
+        )
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -192,85 +331,151 @@ class _Handler(BaseHTTPRequestHandler):
 
     def __init__(self, app: ServingApp, *args, **kwargs) -> None:
         self.app = app
+        self._requests_on_connection = 0
         super().__init__(*args, **kwargs)
 
     # -- plumbing -------------------------------------------------------
+    def setup(self) -> None:
+        self._conn = self.app.connection_metrics("stdlib")
+        self._conn.connection_opened()
+        super().setup()
+
+    def finish(self) -> None:
+        try:
+            super().finish()
+        finally:
+            self._conn.connection_closed()
+
+    def _count_request(self, endpoint: str) -> None:
+        """Per-connection + per-endpoint accounting, before any resolution."""
+        self._requests_on_connection += 1
+        self._conn.request_on_connection(self._requests_on_connection)
+        self.app.record_http_request("stdlib", endpoint)
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep the serving process quiet; metrics carry the counters
 
-    def _send_json(self, status: int, document: Mapping[str, Any]) -> None:
+    def _send_json(
+        self, status: int, document: Mapping[str, Any], endpoint: str = ""
+    ) -> None:
         body = json.dumps(document).encode("utf-8")
+        self._send_body(status, body, "application/json", endpoint)
+
+    def _send_body(
+        self, status: int, body: bytes, content_type: str, endpoint: str = ""
+    ) -> None:
+        if endpoint:
+            self.app.record_http_response("stdlib", endpoint, status)
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _send_error_json(
+        self, status: int, message: str, endpoint: str = ""
+    ) -> None:
+        self._send_json(status, {"error": message}, endpoint)
 
     # -- verbs ----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
-        path = self.path.split("?", 1)[0]
-        if path == "/healthz":
-            self._send_json(200, self.app.health_document())
-        elif path == "/metrics":
-            self._send_json(200, self.app.metrics_document())
-        elif path == "/v1/models":
-            self._send_json(200, self.app.models_document())
-        else:
-            self._send_error_json(404, f"unknown path {path!r}")
+        split = urllib.parse.urlsplit(self.path)
+        path = split.path
+        self._count_request(path)
+        with trace.span("http.request", transport="stdlib", method="GET") as sp:
+            sp.set(path=path)
+            if path == "/healthz":
+                self._send_json(200, self.app.health_document(), path)
+            elif path == "/metrics":
+                query = urllib.parse.parse_qs(split.query)
+                if query.get("format", [""])[-1] == "prometheus":
+                    self._send_body(
+                        200,
+                        self.app.prometheus_text().encode("utf-8"),
+                        prom.CONTENT_TYPE_PROM,
+                        path,
+                    )
+                else:
+                    self._send_json(200, self.app.metrics_document(), path)
+            elif path == "/v1/models":
+                self._send_json(200, self.app.models_document(), path)
+            else:
+                sp.set(status=404)
+                self._send_error_json(404, f"unknown path {path!r}", path)
 
     def do_POST(self) -> None:  # noqa: N802
         from .aio.protocol import ProtocolError, UnsupportedContentType
 
         path = self.path.split("?", 1)[0]
         if path != "/v1/localize":
-            self._send_error_json(404, f"unknown path {path!r}")
+            self._count_request(path)
+            self._send_error_json(404, f"unknown path {path!r}", path)
             return
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
             length = -1
         if length < 0 or length > self.max_body_bytes:
-            self._send_error_json(413, "invalid or oversized request body")
+            self._count_request(path)
+            self._send_error_json(413, "invalid or oversized request body", path)
             return
         try:
             content_type = normalize_content_type(self.headers.get("Content-Type"))
             payload = decode_body(self.rfile.read(length), content_type)
         except UnsupportedContentType as error:
-            self._send_error_json(415, str(error))
+            self._count_request(path)
+            self._send_error_json(415, str(error), path)
             return
         except ProtocolError as error:
-            self._send_error_json(400, str(error))
+            self._count_request(path)
+            self._send_error_json(400, str(error), path)
             return
-        try:
-            document = self.app.localize_document(payload)
-        except StoreError as error:
-            self._send_error_json(404, str(error))
-        except GuardRejectedError as error:
-            # An enforcing inference guard flagged the request as adversarial;
-            # the flagged row indices let the client identify the offenders.
-            self._send_json(
-                403,
-                {
-                    "error": str(error),
-                    "defense": error.defense,
-                    "flagged": list(error.flagged_indices),
-                },
-            )
-        except (TypeError, ValueError) as error:
-            self._send_error_json(400, str(error))
-        except Exception as error:  # pragma: no cover - defensive 500
-            self._send_error_json(500, f"{type(error).__name__}: {error}")
-        else:
-            # Responses mirror the request's negotiated encoding.
-            body = encode_body(document, content_type)
-            self.send_response(200)
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
+        # Count against the endpoint the request *asked for*, before any
+        # resolution: an unknown model's 404s land on its own series.
+        endpoint = self.app.requested_endpoint(payload)
+        self._count_request(endpoint)
+        with trace.span(
+            "http.request",
+            transport="stdlib",
+            method="POST",
+            endpoint=endpoint,
+            content_type=content_type,
+        ) as sp:
+            try:
+                document = self.app.localize_document(payload)
+            except StoreError as error:
+                sp.set(status=404)
+                self._send_error_json(404, str(error), endpoint)
+            except GuardRejectedError as error:
+                # An enforcing inference guard flagged the request as
+                # adversarial; the flagged row indices let the client
+                # identify the offenders.
+                sp.set(status=403)
+                self._send_json(
+                    403,
+                    {
+                        "error": str(error),
+                        "defense": error.defense,
+                        "flagged": list(error.flagged_indices),
+                    },
+                    endpoint,
+                )
+            except (TypeError, ValueError) as error:
+                sp.set(status=400)
+                self._send_error_json(400, str(error), endpoint)
+            except Exception as error:  # pragma: no cover - defensive 500
+                sp.set(status=500)
+                self._send_error_json(500, f"{type(error).__name__}: {error}", endpoint)
+            else:
+                sp.set(
+                    status=200,
+                    served_ref=document.get("ref"),
+                    batch=len(document.get("labels", ())),
+                )
+                # Responses mirror the request's negotiated encoding.
+                self._send_body(
+                    200, encode_body(document, content_type), content_type, endpoint
+                )
 
 
 class _ServingHTTPServer(ThreadingHTTPServer):

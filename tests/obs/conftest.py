@@ -1,0 +1,20 @@
+"""Telemetry-test hygiene: every test leaves the process-global state clean.
+
+The obs subsystem has three process-globals — the enabled override, the
+durable event sink, and the default metrics registry.  Tests that flip the
+first two must not leak into each other (or into the rest of the suite);
+the default registry is shared by design, so tests assert on *deltas*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import events, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry_globals():
+    yield
+    events.configure_sink(None)
+    trace.set_enabled(None)

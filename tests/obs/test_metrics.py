@@ -1,0 +1,171 @@
+"""Unit tests for the metrics registry and the Prometheus renderer."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import prom
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    OVERFLOW_LABEL,
+    MetricsRegistry,
+    registries_for_exposition,
+)
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter_counts(self, registry):
+        counter = registry.counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.labels().value == 3.5
+
+    def test_counter_rejects_negative(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c_total").inc(-1)
+
+    def test_gauge_moves_both_ways(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.inc()
+        gauge.dec(4)
+        assert gauge.labels().value == 7.0
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        hist = registry.histogram("h_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        series = hist.labels()
+        assert series.count == 4
+        assert series.sum == pytest.approx(55.55)
+        assert series.bucket_counts() == [1, 2, 3]  # le=0.1, le=1, le=10
+
+    def test_labeled_series_are_independent(self, registry):
+        counter = registry.counter("reqs_total", labelnames=("endpoint",))
+        counter.labels(endpoint="a").inc()
+        counter.labels(endpoint="a").inc()
+        counter.labels(endpoint="b").inc()
+        assert counter.labels(endpoint="a").value == 2
+        assert counter.labels(endpoint="b").value == 1
+
+    def test_label_arity_is_checked(self, registry):
+        counter = registry.counter("reqs_total", labelnames=("endpoint",))
+        with pytest.raises(ValueError):
+            counter.labels("a", "b")
+        with pytest.raises(ValueError):
+            counter.labels(wrong="a")
+
+    def test_thread_safety_under_contention(self, registry):
+        counter = registry.counter("racy_total")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.labels().value == 8000
+
+
+class TestCardinalityCap:
+    def test_overflow_collapses_into_one_series(self, registry):
+        counter = registry.counter(
+            "capped_total", labelnames=("who",), max_series=2
+        )
+        counter.labels(who="a").inc()
+        counter.labels(who="b").inc()
+        for junk in ("x", "y", "z"):
+            counter.labels(who=junk).inc()
+        collected = dict(
+            (labels["who"], series.value) for labels, series in counter.collect()
+        )
+        assert collected == {"a": 1, "b": 1, OVERFLOW_LABEL: 3}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self, registry):
+        first = registry.counter("same_total", labelnames=("l",))
+        second = registry.counter("same_total", labelnames=("l",))
+        assert first is second
+
+    def test_schema_conflict_raises(self, registry):
+        registry.counter("conflict_total")
+        with pytest.raises(ValueError):
+            registry.gauge("conflict_total")
+        registry.counter("labels_total", labelnames=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("labels_total", labelnames=("b",))
+
+    def test_snapshot_is_json_serialisable(self, registry):
+        registry.counter("c_total", labelnames=("l",)).labels(l="v").inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(0.01)
+        document = json.loads(json.dumps(registry.snapshot()))
+        assert document["c_total"]["type"] == "counter"
+        assert document["c_total"]["series"] == [
+            {"labels": {"l": "v"}, "value": 1.0}
+        ]
+        assert document["h"]["series"][0]["value"]["count"] == 1
+
+    def test_registries_for_exposition_dedups_and_includes_default(self):
+        from repro.obs.metrics import REGISTRY
+
+        mine = MetricsRegistry()
+        merged = registries_for_exposition(mine, mine, None)
+        assert merged == [mine, REGISTRY]
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self, registry):
+        registry.counter("reqs_total", "Requests", ("endpoint",)).labels(
+            endpoint="a/b"
+        ).inc(3)
+        registry.gauge("depth").set(2)
+        text = prom.render(registry)
+        assert "# HELP reqs_total Requests" in text
+        assert "# TYPE reqs_total counter" in text
+        assert 'reqs_total{endpoint="a/b"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2" in text.splitlines()
+
+    def test_histogram_exposition_shape(self, registry):
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        lines = prom.render(registry).splitlines()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in lines
+        assert 'lat_seconds_bucket{le="1"} 1' in lines
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in lines
+        assert "lat_seconds_count 2" in lines
+        assert any(line.startswith("lat_seconds_sum ") for line in lines)
+
+    def test_label_values_are_escaped(self, registry):
+        registry.counter("esc_total", labelnames=("v",)).labels(
+            v='quo"te\nnew'
+        ).inc()
+        text = prom.render(registry)
+        assert 'esc_total{v="quo\\"te\\nnew"} 1' in text
+
+    def test_render_registries_skips_duplicate_families(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("shared_total").inc(1)
+        second.counter("shared_total").inc(99)
+        second.counter("only_second_total").inc(7)
+        lines = prom.render_registries([first, second]).splitlines()
+        assert "shared_total 1" in lines
+        assert "shared_total 99" not in lines
+        assert "only_second_total 7" in lines
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
